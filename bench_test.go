@@ -1,0 +1,215 @@
+// Benchmarks regenerating every exhibit of the paper's evaluation
+// section (run with `go test -bench=. -benchmem`), plus ablation
+// benchmarks for the design choices DESIGN.md calls out. Each figure
+// benchmark runs the same generator as cmd/figures at the reduced Bench
+// configuration, so the timings measure the full pipeline: surface
+// synthesis → Green's-function tabulation → MoM assembly → dense solve →
+// statistics.
+package roughsim
+
+import (
+	"testing"
+
+	"roughsim/internal/cmplxmat"
+	"roughsim/internal/experiments"
+	"roughsim/internal/greens"
+	"roughsim/internal/mom"
+	"roughsim/internal/rng"
+	"roughsim/internal/sscm"
+	"roughsim/internal/surface"
+	"roughsim/internal/units"
+)
+
+func benchExhibit(b *testing.B, gen func(experiments.Config) (*experiments.Result, error)) {
+	cfg := experiments.Bench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2SurfaceSynthesis times the random-surface machinery
+// behind Fig. 2 (KL construction + sampling + statistics).
+func BenchmarkFig2SurfaceSynthesis(b *testing.B) { benchExhibit(b, experiments.Fig2) }
+
+// BenchmarkFig3 regenerates the SWM vs SPM2 vs empirical comparison
+// (Gaussian CF, three roughness levels).
+func BenchmarkFig3(b *testing.B) { benchExhibit(b, experiments.Fig3) }
+
+// BenchmarkFig4 regenerates the measured-CF comparison.
+func BenchmarkFig4(b *testing.B) { benchExhibit(b, experiments.Fig4) }
+
+// BenchmarkFig5 regenerates the half-spheroid SWM vs HBM comparison.
+func BenchmarkFig5(b *testing.B) { benchExhibit(b, experiments.Fig5) }
+
+// BenchmarkFig6 regenerates the 3D-vs-2D SWM comparison.
+func BenchmarkFig6(b *testing.B) { benchExhibit(b, experiments.Fig6) }
+
+// BenchmarkFig7 regenerates the K-distribution comparison (MC vs SSCM).
+func BenchmarkFig7(b *testing.B) { benchExhibit(b, experiments.Fig7) }
+
+// BenchmarkTable1 regenerates the sampling-point accounting.
+func BenchmarkTable1(b *testing.B) { benchExhibit(b, experiments.Table1) }
+
+// --- Ablation benchmarks -------------------------------------------------
+
+func benchParams() mom.Params {
+	f := 5 * units.GHz
+	return mom.Params{
+		K1:   complex(units.WavenumberDielectric(f, 3.7), 0),
+		K2:   units.WavenumberConductor(f, units.CopperResistivity),
+		Beta: units.Beta(f, 3.7, units.CopperResistivity),
+	}
+}
+
+func benchSurface(m int) *surface.Surface {
+	c := surface.NewGaussianCorr(1e-6, 1e-6)
+	kl := surface.NewKL(c, 5e-6, m)
+	return kl.SampleTruncated(rng.New(3), 8)
+}
+
+// BenchmarkAssembleExact measures direct Ewald/image-sum MoM assembly.
+func BenchmarkAssembleExact(b *testing.B) {
+	s := benchSurface(12)
+	p := benchParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mom.Assemble(s, p, mom.Options{})
+	}
+}
+
+// BenchmarkAssembleTabulated measures table-accelerated assembly (the
+// per-surface cost once a frequency's tables exist — the SSCM/MC inner
+// loop).
+func BenchmarkAssembleTabulated(b *testing.B) {
+	s := benchSurface(12)
+	p := benchParams()
+	ts := mom.NewTableSet(p, 5e-6, 12, 12e-6, mom.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mom.AssembleTabulated(s, p, ts, mom.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableBuild measures the one-time per-frequency table cost.
+func BenchmarkTableBuild(b *testing.B) {
+	p := benchParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mom.NewTableSet(p, 5e-6, 12, 12e-6, mom.Options{})
+	}
+}
+
+// BenchmarkSolveDense measures the O(N³) dense LU path.
+func BenchmarkSolveDense(b *testing.B) {
+	s := benchSurface(12)
+	sys := mom.Assemble(s, benchParams(), mom.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveGMRES measures the iterative path at the same size.
+func BenchmarkSolveGMRES(b *testing.B) {
+	s := benchSurface(12)
+	sys := mom.Assemble(s, benchParams(), mom.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.SolveGMRES(1e-8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnknownScaling demonstrates the Sec. III-C argument: the SWM
+// system has 2N unknowns (vs ~6N for the vector-EM RWG formulation), and
+// dense solve cost scales with the cube of that count. The benchmark
+// reports the solve time at 2N and at 6N unknowns for the same N.
+func BenchmarkUnknownScaling(b *testing.B) {
+	n := 144 // N = 12² surface cells
+	src := rng.New(5)
+	build := func(dim int) *cmplxmat.Matrix {
+		m := cmplxmat.New(dim, dim)
+		for i := range m.Data {
+			m.Data[i] = complex(src.NormFloat64(), src.NormFloat64())
+		}
+		for i := 0; i < dim; i++ {
+			m.Add(i, i, complex(float64(dim), 0))
+		}
+		return m
+	}
+	rhs := func(dim int) []complex128 {
+		v := make([]complex128, dim)
+		for i := range v {
+			v[i] = complex(src.NormFloat64(), 0)
+		}
+		return v
+	}
+	b.Run("SWM-2N", func(b *testing.B) {
+		m := build(2 * n)
+		r := rhs(2 * n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cmplxmat.SolveDense(m, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("EM-6N", func(b *testing.B) {
+		m := build(6 * n)
+		r := rhs(6 * n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cmplxmat.SolveDense(m, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEwaldVsDirect times one periodic Green's function evaluation
+// per strategy (medium-1 Ewald vs medium-2 image sum).
+func BenchmarkEwaldVsDirect(b *testing.B) {
+	p := benchParams()
+	ge := greens.NewPeriodic3D(p.K1, 5e-6)
+	gd := greens.NewPeriodic3D(p.K2, 5e-6)
+	b.Run("Ewald", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ge.EvalGrad(1e-6, 0.7e-6, 0.4e-6)
+		}
+	})
+	b.Run("Direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gd.EvalGrad(1e-6, 0.7e-6, 0.4e-6)
+		}
+	})
+}
+
+// BenchmarkSSCMCollocation measures the stochastic layer alone (cheap
+// surrogate construction on an analytic model, no MoM), isolating the
+// sparse-grid machinery of Table I.
+func BenchmarkSSCMCollocation(b *testing.B) {
+	eval := func(xi []float64) (float64, error) {
+		s := 1.4
+		for i, v := range xi {
+			s += 0.05*v + 0.01*float64(i%3)*v*v
+		}
+		return s, nil
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sscm.Run(16, 2, eval, sscm.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

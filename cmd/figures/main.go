@@ -1,0 +1,112 @@
+// Command figures regenerates the figures and tables of the paper's
+// evaluation section (DATE'09, Sec. IV) as CSV files plus an ASCII
+// summary on stdout.
+//
+// Usage:
+//
+//	figures [-out DIR] [-fig fig3] [-paper] [-bench] [-mc N] [-grid M]
+//
+// With no -fig it regenerates every exhibit. -paper selects the paper's
+// Δ = η/8 resolution (slow); default is a laptop-scale configuration
+// that preserves all qualitative features.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"roughsim/internal/experiments"
+)
+
+func main() {
+	var (
+		outDir = flag.String("out", "figures_out", "output directory for CSV files")
+		only   = flag.String("fig", "", "regenerate one exhibit (fig2…fig7, table1)")
+		paper  = flag.Bool("paper", false, "paper-resolution configuration (hours)")
+		bench  = flag.Bool("bench", false, "tiny benchmark configuration (seconds)")
+		mc     = flag.Int("mc", 0, "override Monte-Carlo sample count (Fig. 7)")
+		grid   = flag.Int("grid", 0, "override grid points per patch side")
+		dim    = flag.Int("dim", 0, "override the stochastic (KL) dimension")
+		seed   = flag.Uint64("seed", 0, "override random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *paper {
+		cfg = experiments.Paper()
+	}
+	if *bench {
+		cfg = experiments.Bench()
+	}
+	if *mc > 0 {
+		cfg.MCSamples = *mc
+	}
+	if *grid > 0 {
+		cfg.M = *grid
+	}
+	if *dim > 0 {
+		cfg.KLDim = *dim
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	gens := map[string]func(experiments.Config) (*experiments.Result, error){
+		"fig2": experiments.Fig2, "fig3": experiments.Fig3,
+		"fig4": experiments.Fig4, "fig5": experiments.Fig5,
+		"fig6": experiments.Fig6, "fig7": experiments.Fig7,
+		"table1":           experiments.Table1,
+		"ablation-grid":    experiments.AblationGrid,
+		"ablation-kl":      experiments.AblationKLDepth,
+		"ablation-solvers": experiments.AblationSolvers,
+	}
+	// The paper exhibits run by default; ablations run on request.
+	order := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1"}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	run := func(name string) {
+		gen, ok := gens[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown exhibit %q (want fig2…fig7 or table1)", name))
+		}
+		start := time.Now()
+		res, err := gen(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if err := res.WriteTable(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  (%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		path := filepath.Join(*outDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *only != "" {
+		run(*only)
+		return
+	}
+	for _, name := range order {
+		run(name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

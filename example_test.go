@@ -1,0 +1,45 @@
+package roughsim_test
+
+import (
+	"fmt"
+	"log"
+
+	"roughsim"
+)
+
+// ExampleNewSimulation shows the minimal path from a material stack and
+// a surface description to the mean loss enhancement factor. (No fixed
+// output: the value depends on the discretization defaults.)
+func ExampleNewSimulation() {
+	sim, err := roughsim.NewSimulation(
+		roughsim.CopperSiO2(),
+		roughsim.SurfaceSpec{Corr: roughsim.GaussianCF, Sigma: 1e-6, Eta: 2e-6},
+		roughsim.Accuracy{GridPerSide: 10, StochasticDim: 6},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := sim.MeanLossFactor(5e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if k > 1 {
+		fmt.Println("roughness increases conductor loss")
+	}
+	// Output: roughness increases conductor loss
+}
+
+// ExampleEmpiricalLossFactor evaluates the Morgan/Hammerstad formula (1)
+// at σ = δ, where it gives 1 + (2/π)·atan(1.4).
+func ExampleEmpiricalLossFactor() {
+	k := roughsim.EmpiricalLossFactor(1e-6, 1e-6)
+	fmt.Printf("K(σ=δ) = %.4f\n", k)
+	// Output: K(σ=δ) = 1.6051
+}
+
+// ExampleStack_SkinDepth prints the copper skin depth at 1 GHz.
+func ExampleStack_SkinDepth() {
+	d := roughsim.CopperSiO2().SkinDepth(1e9)
+	fmt.Printf("δ(1 GHz) = %.2f μm\n", d*1e6)
+	// Output: δ(1 GHz) = 2.06 μm
+}

@@ -1,0 +1,77 @@
+// Interconnect example: the application that motivates the paper —
+// predicting the insertion loss of a PCB microstrip when the copper
+// surface is roughened for adhesion.
+//
+// A 20 cm 50Ω-ish microstrip on FR-4 is swept over 1–20 GHz three ways:
+// smooth copper, roughness per the empirical formula (1), and roughness
+// per the SWM solver. The output shows how roughness breaks the
+// classical Rf ∝ √f law and costs several dB at the top of the band.
+//
+// Run with:
+//
+//	go run ./examples/interconnect
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"roughsim"
+	"roughsim/internal/txline"
+)
+
+func main() {
+	line := txline.Microstrip{
+		Width:    300e-6,
+		Height:   170e-6,
+		EpsR:     4.1,
+		TanDelta: 0.018,
+		Rho:      roughsim.CopperSiO2().Rho,
+	}
+	const length = 0.20 // 20 cm
+	const z0 = 50.0
+
+	// Roughened foil: σ = 1 μm, η = 1.5 μm.
+	sim, err := roughsim.NewSimulation(roughsim.CopperSiO2(),
+		roughsim.SurfaceSpec{Corr: roughsim.GaussianCF, Sigma: 1e-6, Eta: 1.5e-6},
+		roughsim.Accuracy{GridPerSide: 12, StochasticDim: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Precompute the SWM roughness factor on a frequency grid (K(f) is
+	// smooth; the line model interpolates nothing — we evaluate at the
+	// same points).
+	freqs := []float64{1, 2, 4, 6, 8, 10, 14, 20}
+	swmK := make(map[float64]float64, len(freqs))
+	for _, fG := range freqs {
+		k, err := sim.MeanLossFactor(fG * 1e9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		swmK[fG] = k
+	}
+
+	smooth := txline.Smooth
+	empirical := func(f float64) float64 { return sim.EmpiricalLossFactor(f) }
+	swm := func(f float64) float64 { return swmK[f/1e9] }
+
+	fmt.Printf("20 cm microstrip (w=300 μm, h=170 μm, εr=4.1, tanδ=0.018), Z0 ≈ %.1f Ω\n", line.Z0())
+	fmt.Printf("rough foil: σ=1 μm, η=1.5 μm\n\n")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "f (GHz)\tsmooth IL (dB)\tempirical IL (dB)\tSWM IL (dB)\tSWM K(f)")
+	for _, fG := range freqs {
+		f := fG * 1e9
+		s := txline.InsertionLossDB(line, length, f, z0, smooth)
+		e := txline.InsertionLossDB(line, length, f, z0, empirical)
+		w := txline.InsertionLossDB(line, length, f, z0, swm)
+		fmt.Fprintf(tw, "%.3g\t%.2f\t%.2f\t%.2f\t%.3f\n", fG, s, e, w, swmK[fG])
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe roughness penalty grows with frequency: at 20 GHz the classical")
+	fmt.Println("smooth-copper model underestimates the loss by the K(f) factor above.")
+}

@@ -1,0 +1,59 @@
+// Uncertainty example: the paper's stochastic contribution — replacing
+// 5000-sample Monte-Carlo with the spectral stochastic collocation
+// method (SSCM). This example builds the distribution of the loss factor
+// K at 5 GHz both ways and reports the sampling-point budgets and the
+// Kolmogorov–Smirnov agreement of the CDFs (the Fig. 7 / Table I story).
+//
+// Run with:
+//
+//	go run ./examples/uncertainty
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"roughsim"
+	"roughsim/internal/stats"
+)
+
+func main() {
+	sim, err := roughsim.NewSimulation(roughsim.CopperSiO2(),
+		roughsim.SurfaceSpec{Corr: roughsim.GaussianCF, Sigma: 1e-6, Eta: 1e-6},
+		roughsim.Accuracy{GridPerSide: 12, StochasticDim: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := 5e9
+
+	const nMC = 400 // a laptop-scale stand-in for the paper's 5000
+	mc, err := sim.MonteCarlo(f, nMC, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcECDF := stats.NewECDF(mc.Samples)
+
+	fmt.Printf("distribution of K = Pr/Ps at 5 GHz (σ=η=1 μm), d = %d KL modes\n\n", sim.StochasticDim())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\tsolver runs\tmean K\tstd K\tKS vs MC")
+	fmt.Fprintf(tw, "MC\t%d\t%.4f\t%.4f\t—\n", nMC, mc.Mean, mc.StdErr*math.Sqrt(nMC))
+
+	for _, order := range []int{1, 2} {
+		res, err := sim.SSCM(f, order)
+		if err != nil {
+			log.Fatal(err)
+		}
+		surrogate := res.PCE.Sample(20000, 7)
+		ks := stats.KSDistance(mcECDF, stats.NewECDF(surrogate))
+		fmt.Fprintf(tw, "%d-SSCM\t%d\t%.4f\t%.4f\t%.4f\n",
+			order, res.Points, res.PCE.Mean(), math.Sqrt(res.PCE.Variance()), ks)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe 2nd-order surrogate reproduces the Monte-Carlo distribution with")
+	fmt.Println("an order of magnitude fewer integral-equation solves — Table I's point.")
+}

@@ -1,0 +1,51 @@
+// Validity-map example: the paper's central claim is that SWM bridges
+// the validity gap between SPM2 (small roughness only) and HBM (large
+// roughness / high frequency only). This example sweeps the roughness
+// scale at a fixed frequency and prints all methods side by side, so the
+// divergence of each closed form outside its regime is visible.
+//
+// Run with:
+//
+//	go run ./examples/validity
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"roughsim"
+)
+
+func main() {
+	stack := roughsim.CopperSiO2()
+	f := 5e9
+	delta := stack.SkinDepth(f)
+	fmt.Printf("method validity sweep at %.0f GHz (δ = %.2f μm)\n", f/1e9, delta*1e6)
+	fmt.Printf("Gaussian CF, η = 2σ throughout; σ/δ is the roughness scale\n\n")
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "σ (μm)\tσ/δ\tSWM K\tSPM2 K\tempirical K")
+	for _, sigmaUM := range []float64{0.25, 0.5, 1.0, 1.5, 2.0} {
+		sigma := sigmaUM * 1e-6
+		sim, err := roughsim.NewSimulation(stack,
+			roughsim.SurfaceSpec{Corr: roughsim.GaussianCF, Sigma: sigma, Eta: 2 * sigma},
+			roughsim.Accuracy{GridPerSide: 14, StochasticDim: 12})
+		if err != nil {
+			log.Fatal(err)
+		}
+		k, err := sim.MeanLossFactor(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%.2f\t%.2f\t%.4f\t%.4f\t%.4f\n",
+			sigmaUM, sigma/delta, k, sim.SPM2LossFactor(f), sim.EmpiricalLossFactor(f))
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nreading the table: SPM2 tracks SWM while σ/δ ≲ 1 and then overshoots")
+	fmt.Println("(its K−1 grows strictly like σ²); the empirical formula saturates at 2")
+	fmt.Println("regardless of the texture. SWM remains usable across the whole range.")
+}

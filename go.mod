@@ -1,0 +1,3 @@
+module roughsim
+
+go 1.22

@@ -1,0 +1,78 @@
+package areafactor
+
+import (
+	"math"
+	"testing"
+
+	"roughsim/internal/rng"
+	"roughsim/internal/surface"
+)
+
+const um = 1e-6
+
+func TestFlatLimit(t *testing.T) {
+	if k := Gaussian(0, 1*um); k != 1 {
+		t.Fatalf("K(σ=0) = %g", k)
+	}
+	// σ ≪ η: K → 1.
+	if k := Gaussian(0.001*um, 1*um); math.Abs(k-1) > 1e-5 {
+		t.Fatalf("smooth limit K = %g", k)
+	}
+}
+
+func TestSmallSlopeExpansion(t *testing.T) {
+	// For small σ/η the exact integral matches 1 + 2(σ/η)² up to the
+	// next term, −E[|∇f|⁴]/8 = −4(σ/η)⁴.
+	for _, r := range []float64{0.02, 0.05, 0.1} {
+		exact := Gaussian(r*um, 1*um)
+		approx := SmallSlope(r*um, 1*um)
+		if math.Abs(exact-approx) > 6*math.Pow(r, 4)+1e-12 {
+			t.Errorf("σ/η=%g: exact %g vs expansion %g", r, exact, approx)
+		}
+	}
+}
+
+func TestMonotoneInRoughness(t *testing.T) {
+	prev := 1.0
+	for _, r := range []float64{0.1, 0.3, 0.5, 1, 2} {
+		k := Gaussian(r*um, 1*um)
+		if k <= prev {
+			t.Fatalf("K not increasing with σ/η: %g after %g", k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestSampledAreaMatchesAnalytic(t *testing.T) {
+	// Monte-Carlo area ratio of synthesized surfaces vs the closed
+	// integral. The grid band-limits slopes, so sampled slightly low.
+	sigma := 0.4 * um
+	eta := 1.0 * um
+	kl := surface.NewKL(surface.NewGaussianCorr(sigma, eta), 6*um, 32)
+	src := rng.New(404)
+	var sum float64
+	const nSamp = 120
+	for i := 0; i < nSamp; i++ {
+		sum += OfSurface(kl.Sample(src))
+	}
+	got := sum / nSamp
+	want := Gaussian(sigma, eta)
+	if math.Abs(got-want)/(want-1) > 0.15 {
+		t.Fatalf("sampled area ratio %g vs analytic %g", got, want)
+	}
+}
+
+func TestFlatSurfaceAreaIsOne(t *testing.T) {
+	if k := OfSurface(surface.NewFlat(5*um, 8)); k != 1 {
+		t.Fatalf("flat area ratio %g", k)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for η ≤ 0")
+		}
+	}()
+	Gaussian(1*um, 0)
+}

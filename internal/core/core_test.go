@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"roughsim/internal/mom"
+	"roughsim/internal/rng"
+	"roughsim/internal/surface"
+	"roughsim/internal/units"
+)
+
+const um = 1e-6
+
+func TestPaperMaterial(t *testing.T) {
+	m := PaperMaterial()
+	if m.EpsR != 3.7 {
+		t.Fatalf("εr = %g, want 3.7", m.EpsR)
+	}
+	if math.Abs(m.Rho-1.67e-8)/1.67e-8 > 1e-12 {
+		t.Fatalf("ρ = %g, want 1.67 μΩ·cm", m.Rho)
+	}
+	// Skin depth of the paper's conductor at 5 GHz ≈ 0.92 μm.
+	if d := m.SkinDepth(5 * units.GHz); math.Abs(d-0.92e-6)/0.92e-6 > 0.01 {
+		t.Fatalf("δ(5GHz) = %g", d)
+	}
+}
+
+func TestEmpiricalFormula(t *testing.T) {
+	// Limits of eq. (1): K → 1 for σ ≪ δ, K → 2 for σ ≫ δ.
+	if k := Empirical(0.01*um, 10*um); math.Abs(k-1) > 1e-4 {
+		t.Fatalf("smooth limit K = %g", k)
+	}
+	if k := Empirical(100*um, 0.1*um); math.Abs(k-2) > 1e-4 {
+		t.Fatalf("rough limit K = %g, want → 2", k)
+	}
+	// At σ = δ: K = 1 + (2/π)·atan(1.4).
+	want := 1 + 2/math.Pi*math.Atan(1.4)
+	if k := Empirical(1*um, 1*um); math.Abs(k-want) > 1e-12 {
+		t.Fatalf("K(σ=δ) = %g, want %g", k, want)
+	}
+}
+
+func TestSolverRejectsMismatchedSurface(t *testing.T) {
+	s := NewSolver(PaperMaterial(), 5*um, 8, mom.Options{})
+	if _, err := s.LossFactor(surface.NewFlat(5*um, 10), 1*units.GHz); err == nil {
+		t.Fatal("expected grid mismatch error")
+	}
+	if _, err := s.LossFactor2D(surface.NewFlatProfile(4*um, 8), 1*units.GHz); err == nil {
+		t.Fatal("expected 2D grid mismatch error")
+	}
+}
+
+func TestCheckResolutionGuards(t *testing.T) {
+	// A smooth long-wavelength surface passes…
+	c := surface.NewGaussianCorr(1*um, 2*um)
+	kl := surface.NewKL(c, 10*um, 16)
+	smooth := kl.SampleTruncated(rng.New(3), 12)
+	if _, err := CheckResolution(smooth); err != nil {
+		t.Fatalf("smooth surface rejected: %v", err)
+	}
+	// …while a grid-scale sawtooth trips the guard.
+	jag := surface.NewFlat(5*um, 12)
+	for iy := 0; iy < 12; iy++ {
+		for ix := 0; ix < 12; ix++ {
+			if (ix+iy)%2 == 0 {
+				jag.H[iy*12+ix] = 1.2 * um
+			} else {
+				jag.H[iy*12+ix] = -1.2 * um
+			}
+		}
+	}
+	if _, err := CheckResolution(jag); err == nil {
+		t.Fatal("under-resolved surface not rejected")
+	}
+}
+
+func TestLossFactorTabulatedMatchesExact(t *testing.T) {
+	f := 5 * units.GHz
+	c := surface.NewGaussianCorr(1*um, 1*um)
+	L := 5 * um
+	M := 16
+	kl := surface.NewKL(c, L, M)
+	surf := kl.SampleTruncated(rng.New(9), 12)
+
+	exactSolver := NewSolver(PaperMaterial(), L, M, mom.Options{})
+	tabSolver := NewSolverTabulated(PaperMaterial(), L, M, 10*um, mom.Options{})
+
+	ke, err := exactSolver.LossFactor(surf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, err := tabSolver.LossFactor(surf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ke-kt) > 1e-5*ke {
+		t.Fatalf("tabulated K = %g vs exact %g", kt, ke)
+	}
+	if ke <= 1 {
+		t.Fatalf("K = %g, want > 1", ke)
+	}
+}
+
+func TestFlatPabsCachedAndConcurrent(t *testing.T) {
+	s := NewSolver(PaperMaterial(), 5*um, 8, mom.Options{})
+	f := 3 * units.GHz
+	var wg sync.WaitGroup
+	vals := make([]float64, 8)
+	for i := range vals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := s.FlatPabs(f)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vals[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for _, v := range vals[1:] {
+		if v != vals[0] {
+			t.Fatal("concurrent FlatPabs returned different values")
+		}
+	}
+	// Matches the analytic value within discretization error.
+	want := mom.FlatPabsAnalytic(PaperMaterial().Params(f), 5*um)
+	if math.Abs(vals[0]-want)/want > 0.05 {
+		t.Fatalf("flat Pabs %g vs analytic %g", vals[0], want)
+	}
+}
+
+func TestLossFactor2DFlatIsUnity(t *testing.T) {
+	s := NewSolver(PaperMaterial(), 5*um, 24, mom.Options{})
+	k, err := s.LossFactor2D(surface.NewFlatProfile(5*um, 24), 5*units.GHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-1) > 1e-9 {
+		t.Fatalf("flat profile K = %g, want exactly 1 (same solve)", k)
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationGridConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver-backed experiment")
+	}
+	r, err := AblationGrid(Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := r.Find("K")
+	if len(k.Y) < 3 {
+		t.Fatalf("too few grid points: %v", k.X)
+	}
+	// Successive refinements approach a limit: the last two values agree
+	// much better than the first two.
+	first := math.Abs(k.Y[1] - k.Y[0])
+	last := math.Abs(k.Y[len(k.Y)-1] - k.Y[len(k.Y)-2])
+	if last > first {
+		t.Fatalf("no convergence trend: deltas %g → %g (K series %v)", first, last, k.Y)
+	}
+	for _, v := range k.Y {
+		if v < 1 || v > 2.5 {
+			t.Fatalf("K out of range: %v", k.Y)
+		}
+	}
+}
+
+func TestAblationKLDepth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver-backed experiment")
+	}
+	r, err := AblationKLDepth(Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	capt := r.Find("captured")
+	mean := r.Find("mean K")
+	// Captured variance strictly increases with depth.
+	for i := 1; i < len(capt.Y); i++ {
+		if capt.Y[i] <= capt.Y[i-1] {
+			t.Fatalf("captured variance not increasing: %v", capt.Y)
+		}
+	}
+	// Mean K grows (weakly) as more roughness is represented.
+	if mean.Y[len(mean.Y)-1] < mean.Y[0] {
+		t.Fatalf("mean K decreased with KL depth: %v", mean.Y)
+	}
+}
+
+func TestAblationSolvers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver-backed experiment")
+	}
+	r, err := AblationSolvers(Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Series[0]
+	if len(s.Y) != 7 {
+		t.Fatalf("want 7 timings, got %d", len(s.Y))
+	}
+	for i, v := range s.Y {
+		if v <= 0 {
+			t.Fatalf("timing %d non-positive: %v", i, s.Y)
+		}
+	}
+	// Tabulated assembly (index 2) must beat exact assembly (index 0).
+	if s.Y[2] >= s.Y[0] {
+		t.Fatalf("tabulated assembly %g ms not faster than exact %g ms", s.Y[2], s.Y[0])
+	}
+}

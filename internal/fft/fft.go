@@ -1,0 +1,186 @@
+// Package fft implements the fast Fourier transforms used for spectral
+// surface synthesis and for the FFT-accelerated MoM matrix-vector
+// product: an iterative radix-2 transform for power-of-two lengths,
+// Bluestein's algorithm for arbitrary lengths, 2-D transforms, and fast
+// cyclic convolution.
+//
+// Conventions: Forward computes X[k] = Σ_n x[n]·exp(−2πi·kn/N) (no
+// scaling); Inverse divides by N so Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Forward computes the unscaled forward DFT of x in place-free fashion:
+// the input slice is not modified and a new slice is returned.
+func Forward(x []complex128) []complex128 {
+	out := append([]complex128(nil), x...)
+	transform(out, false)
+	return out
+}
+
+// Inverse computes the inverse DFT (scaled by 1/N) of x, returning a new
+// slice.
+func Inverse(x []complex128) []complex128 {
+	out := append([]complex128(nil), x...)
+	transform(out, true)
+	return out
+}
+
+// transform dispatches on length: radix-2 in place for powers of two,
+// Bluestein otherwise.
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+	} else {
+		bluestein(x, inverse)
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// radix2 performs an in-place iterative Cooley–Tukey FFT; len(x) must be
+// a power of two. No 1/N scaling is applied.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	levels := bits.TrailingZeros(uint(n))
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> (bits.UintSize - levels))
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		ang := sign * 2 * math.Pi / float64(size)
+		wstep := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// reducing it to a cyclic convolution of power-of-two length.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign·iπ·k²/n). Use k² mod 2n to keep the angle
+	// argument small (k² overflows float accuracy for large k).
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * chirp[k]
+	}
+}
+
+// Forward2D computes the 2-D DFT of an ny×nx array stored row-major
+// (rows of length nx). A new slice is returned.
+func Forward2D(x []complex128, ny, nx int) []complex128 {
+	return transform2D(x, ny, nx, false)
+}
+
+// Inverse2D computes the 2-D inverse DFT with 1/(nx·ny) scaling.
+func Inverse2D(x []complex128, ny, nx int) []complex128 {
+	return transform2D(x, ny, nx, true)
+}
+
+func transform2D(x []complex128, ny, nx int, inverse bool) []complex128 {
+	if len(x) != ny*nx {
+		panic("fft: 2D transform shape mismatch")
+	}
+	out := append([]complex128(nil), x...)
+	// Rows.
+	for r := 0; r < ny; r++ {
+		row := out[r*nx : (r+1)*nx]
+		transform(row, inverse)
+	}
+	// Columns.
+	col := make([]complex128, ny)
+	for c := 0; c < nx; c++ {
+		for r := 0; r < ny; r++ {
+			col[r] = out[r*nx+c]
+		}
+		transform(col, inverse)
+		for r := 0; r < ny; r++ {
+			out[r*nx+c] = col[r]
+		}
+	}
+	return out
+}
+
+// CyclicConvolve returns the cyclic (circular) convolution of two
+// equal-length sequences: out[k] = Σ_j a[j]·b[(k−j) mod n].
+func CyclicConvolve(a, b []complex128) []complex128 {
+	if len(a) != len(b) {
+		panic("fft: CyclicConvolve length mismatch")
+	}
+	fa := Forward(a)
+	fb := Forward(b)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	out := fa
+	transform(out, true) // includes the 1/N scaling
+	return out
+}
+
+// CyclicConvolve2D returns the 2-D circular convolution of two ny×nx
+// arrays (row-major).
+func CyclicConvolve2D(a, b []complex128, ny, nx int) []complex128 {
+	fa := Forward2D(a, ny, nx)
+	fb := Forward2D(b, ny, nx)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	return Inverse2D(fa, ny, nx)
+}

@@ -1,0 +1,66 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShiftTheorem(t *testing.T) {
+	// DFT[x shifted by s][k] = e^{−2πi·ks/N}·DFT[x][k].
+	f := func(seed int64, shiftRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(56)
+		s := int(shiftRaw) % n
+		x := randVec(rng, n)
+		shifted := make([]complex128, n)
+		for i := range shifted {
+			shifted[i] = x[((i-s)%n+n)%n]
+		}
+		fx := Forward(x)
+		fs := Forward(shifted)
+		for k := 0; k < n; k++ {
+			ph := cmplx.Rect(1, -2*math.Pi*float64(k)*float64(s)/float64(n))
+			if cmplx.Abs(fs[k]-ph*fx[k]) > 1e-9*float64(n)*(1+cmplx.Abs(fx[k])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConjugateSymmetryOfRealInput(t *testing.T) {
+	// Real input ⇒ X[N−k] = conj(X[k]).
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{16, 21, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+		}
+		fx := Forward(x)
+		for k := 1; k < n; k++ {
+			if cmplx.Abs(fx[n-k]-cmplx.Conj(fx[k])) > 1e-9*float64(n) {
+				t.Fatalf("n=%d k=%d: Hermitian symmetry violated", n, k)
+			}
+		}
+	}
+}
+
+func TestConvolutionTheoremCommutes(t *testing.T) {
+	// a ⊛ b == b ⊛ a.
+	rng := rand.New(rand.NewSource(78))
+	for _, n := range []int{8, 17, 32} {
+		a := randVec(rng, n)
+		b := randVec(rng, n)
+		ab := CyclicConvolve(a, b)
+		ba := CyclicConvolve(b, a)
+		if d := maxDiff(ab, ba); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: convolution not commutative, diff %g", n, d)
+		}
+	}
+}

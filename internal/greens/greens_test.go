@@ -1,0 +1,351 @@
+package greens
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// refSpectral3D is an independent reference: the plain Floquet-mode
+// expansion G = Σ_mn e^{j·k_t·Δρ}·e^{jβ|Δz|}/(2jβL²), β = sqrt(k²−|k_t|²)
+// with Im β ≥ 0. It converges geometrically for |Δz| ≳ L/4 and shares no
+// code with the Ewald implementation.
+func refSpectral3D(k complex128, L, dx, dy, dz float64, n int) complex128 {
+	var sum complex128
+	for m := -n; m <= n; m++ {
+		for q := -n; q <= n; q++ {
+			ktx := 2 * math.Pi * float64(m) / L
+			kty := 2 * math.Pi * float64(q) / L
+			beta := cmplx.Sqrt(k*k - complex(ktx*ktx+kty*kty, 0))
+			if imag(beta) < 0 {
+				beta = -beta
+			}
+			num := cmplx.Exp(complex(0, ktx*dx+kty*dy) + complex(0, 1)*beta*complex(math.Abs(dz), 0))
+			// Weyl identity: e^{jkR}/(4πR) = (j/2)∫ e^{jk_t·ρ+jβ|z|}/β d²k_t/(2π)².
+			sum += complex(0, 1) * num / (2 * beta * complex(L*L, 0))
+		}
+	}
+	return sum
+}
+
+// refSpectral2D: G = Σ_m e^{j·k_m·Δx}·e^{jβ|Δz|}/(2jβL).
+func refSpectral2D(k complex128, L, dx, dz float64, n int) complex128 {
+	var sum complex128
+	for m := -n; m <= n; m++ {
+		km := 2 * math.Pi * float64(m) / L
+		beta := cmplx.Sqrt(k*k - complex(km*km, 0))
+		if imag(beta) < 0 {
+			beta = -beta
+		}
+		num := cmplx.Exp(complex(0, km*dx) + complex(0, 1)*beta*complex(math.Abs(dz), 0))
+		sum += complex(0, 1) * num / (2 * beta * complex(L, 0))
+	}
+	return sum
+}
+
+func relDiff(a, b complex128) float64 {
+	return cmplx.Abs(a-b) / (cmplx.Abs(b) + 1e-300)
+}
+
+func TestPeriodic3DEwaldVsDirect(t *testing.T) {
+	// Moderately lossy k: both strategies converge, must agree.
+	L := 5e-6
+	k := complex(3e5, 8e5) // Im(k)·L = 4 > threshold ⇒ default is direct
+	gd := NewPeriodic3D(k, L)
+	if gd.UsesEwald() {
+		t.Fatal("expected direct strategy for lossy k")
+	}
+	ge := NewPeriodic3D(k, L)
+	ge.useEwald = true
+	ge.nSpec = 4
+	ge.nSpat = 3
+
+	pts := [][3]float64{
+		{1e-6, 0.5e-6, 0.3e-6},
+		{2.4e-6, 2.4e-6, -0.8e-6},
+		{0.1e-6, 0, 1e-6},
+		{4.9e-6, 4.9e-6, 0.2e-6}, // near an image
+	}
+	for _, p := range pts {
+		vd, gradD := gd.EvalGrad(p[0], p[1], p[2])
+		ve, gradE := ge.EvalGrad(p[0], p[1], p[2])
+		if d := relDiff(ve, vd); d > 1e-8 {
+			t.Errorf("G at %v: ewald %v direct %v rel %g", p, ve, vd, d)
+		}
+		// Compare components against the gradient norm: symmetry can make
+		// individual components vanish, where relative error is undefined.
+		var norm float64
+		for i := 0; i < 3; i++ {
+			norm += cmplx.Abs(gradD[i]) * cmplx.Abs(gradD[i])
+		}
+		norm = math.Sqrt(norm)
+		for i := 0; i < 3; i++ {
+			if d := cmplx.Abs(gradE[i]-gradD[i]) / norm; d > 1e-6 {
+				t.Errorf("∇G[%d] at %v: rel %g", i, p, d)
+			}
+		}
+	}
+}
+
+func TestPeriodic3DEwaldSplitInvariance(t *testing.T) {
+	// The Ewald result must not depend on the splitting parameter E.
+	L := 5e-6
+	k := complex(1.2e3, 0) // dielectric-like
+	g1 := NewPeriodic3D(k, L)
+	g2 := NewPeriodic3D(k, L)
+	g2.E = g1.E * 1.6
+	g2.nSpec = 5 // larger E shifts work to the spectral sum
+	g3 := NewPeriodic3D(k, L)
+	g3.E = g1.E / 1.6
+	g3.nSpat = 4
+	for _, p := range [][3]float64{{1e-6, 0.7e-6, 0.4e-6}, {2.5e-6, 1e-6, -1e-6}} {
+		v1 := g1.Eval(p[0], p[1], p[2])
+		v2 := g2.Eval(p[0], p[1], p[2])
+		v3 := g3.Eval(p[0], p[1], p[2])
+		if d := relDiff(v1, v2); d > 1e-9 {
+			t.Errorf("E-invariance (up) at %v: %g", p, d)
+		}
+		if d := relDiff(v1, v3); d > 1e-9 {
+			t.Errorf("E-invariance (down) at %v: %g", p, d)
+		}
+	}
+}
+
+func TestPeriodic3DAgainstFloquetReference(t *testing.T) {
+	// For |Δz| ≳ L/3 the plain Floquet sum is an independent benchmark.
+	L := 5e-6
+	for _, k := range []complex128{complex(1.2e3, 0), complex(4e5, 2e5)} {
+		g := NewPeriodic3D(k, L)
+		if !g.UsesEwald() {
+			g.useEwald = true
+			g.nSpec = 4
+			g.nSpat = 3
+		}
+		for _, p := range [][3]float64{{1e-6, 2e-6, 2e-6}, {0.3e-6, 0.9e-6, -2.5e-6}} {
+			got := g.Eval(p[0], p[1], p[2])
+			want := refSpectral3D(k, L, p[0], p[1], p[2], 30)
+			if d := relDiff(got, want); d > 1e-7 {
+				t.Errorf("k=%v p=%v: got %v want %v rel %g", k, p, got, want, d)
+			}
+		}
+	}
+}
+
+func TestPeriodic3DPeriodicity(t *testing.T) {
+	L := 5e-6
+	g := NewPeriodic3D(complex(1.2e3, 0), L)
+	a := g.Eval(1e-6, 0.5e-6, 0.3e-6)
+	b := g.Eval(1e-6+L, 0.5e-6, 0.3e-6)
+	c := g.Eval(1e-6, 0.5e-6-L, 0.3e-6)
+	if d := relDiff(a, b); d > 1e-9 {
+		t.Errorf("periodicity in x: %g", d)
+	}
+	if d := relDiff(a, c); d > 1e-9 {
+		t.Errorf("periodicity in y: %g", d)
+	}
+}
+
+func TestPeriodic3DGradientFiniteDifference(t *testing.T) {
+	L := 5e-6
+	for _, k := range []complex128{complex(1.2e3, 0), complex(1.4e6, 1.4e6)} {
+		g := NewPeriodic3D(k, L)
+		p := [3]float64{1.3e-6, 0.8e-6, 0.5e-6}
+		_, grad := g.EvalGrad(p[0], p[1], p[2])
+		h := 1e-12
+		for i := 0; i < 3; i++ {
+			pp, pm := p, p
+			pp[i] += h
+			pm[i] -= h
+			fd := (g.Eval(pp[0], pp[1], pp[2]) - g.Eval(pm[0], pm[1], pm[2])) / complex(2*h, 0)
+			if d := relDiff(grad[i], fd); d > 1e-4 {
+				t.Errorf("k=%v grad[%d]: analytic %v fd %v rel %g", k, i, grad[i], fd, d)
+			}
+		}
+	}
+}
+
+func TestPeriodic3DRegularizedLimit(t *testing.T) {
+	L := 5e-6
+	for _, k := range []complex128{complex(1.2e3, 0), complex(1.4e6, 1.4e6)} {
+		g := NewPeriodic3D(k, L)
+		reg := g.EvalRegularized()
+		// G(ε) − 1/(4πε) must approach the regularized value.
+		for _, eps := range []float64{1e-9, 3e-10} {
+			got := g.Eval(eps, 0, 0) - complex(1/(4*math.Pi*eps), 0)
+			if d := cmplx.Abs(got-reg) / (cmplx.Abs(reg) + 1e-300); d > 2e-2 {
+				t.Errorf("k=%v ε=%g: limit %v vs regularized %v (%g)", k, eps, got, reg, d)
+			}
+		}
+	}
+}
+
+func TestPeriodic3DHelmholtz(t *testing.T) {
+	// (∇² + k²)G = 0 away from lattice points, via 2nd-order FD.
+	L := 5e-6
+	k := complex(4e5, 2e5)
+	g := NewPeriodic3D(k, L)
+	g.useEwald = true
+	g.nSpec = 4
+	g.nSpat = 3
+	p := [3]float64{1.7e-6, 1.1e-6, 0.6e-6}
+	h := 2e-9
+	lap := complex(0, 0)
+	center := g.Eval(p[0], p[1], p[2])
+	for i := 0; i < 3; i++ {
+		pp, pm := p, p
+		pp[i] += h
+		pm[i] -= h
+		lap += (g.Eval(pp[0], pp[1], pp[2]) - 2*center + g.Eval(pm[0], pm[1], pm[2])) / complex(h*h, 0)
+	}
+	resid := lap + k*k*center
+	// Scale by |G|·|k²| to get a meaningful relative error.
+	scale := cmplx.Abs(center) * cmplx.Abs(k*k)
+	if cmplx.Abs(resid)/scale > 1e-3 {
+		t.Errorf("Helmholtz residual %v (relative %g)", resid, cmplx.Abs(resid)/scale)
+	}
+}
+
+func TestHankel0RealAxis(t *testing.T) {
+	for _, x := range []float64{0.1, 0.5, 1, 3, 7, 8.5, 10, 20, 50} {
+		got := Hankel0(complex(x, 0))
+		want := complex(math.J0(x), math.Y0(x))
+		if d := relDiff(got, want); d > 1e-9 {
+			t.Errorf("H0(%g) = %v, want %v (rel %g)", x, got, want, d)
+		}
+	}
+}
+
+func TestHankel1RealAxis(t *testing.T) {
+	for _, x := range []float64{0.1, 0.5, 1, 3, 7, 8.5, 10, 20, 50} {
+		got := Hankel1(complex(x, 0))
+		want := complex(math.J1(x), math.Y1(x))
+		if d := relDiff(got, want); d > 1e-8 {
+			t.Errorf("H1(%g) = %v, want %v (rel %g)", x, got, want, d)
+		}
+	}
+}
+
+func TestHankelSeriesAsymptoticOverlap(t *testing.T) {
+	// The series (|z|<9) and asymptotic (|z|≥9) branches must agree in
+	// the overlap region, including off the real axis.
+	for _, zarg := range []float64{0, math.Pi / 4, math.Pi / 3} {
+		for _, r := range []float64{8.2, 8.8, 9.5, 11} {
+			z := cmplx.Rect(r, zarg)
+			ser := besselJ0(z) + complex(0, 1)*besselY0(z, besselJ0(z))
+			asy := hankel0Asymptotic(z)
+			if d := relDiff(ser, asy); d > 1e-7 {
+				t.Errorf("H0 overlap |z|=%g arg=%g: series %v asym %v rel %g", r, zarg, ser, asy, d)
+			}
+		}
+	}
+}
+
+func TestHankelDerivativeIdentity(t *testing.T) {
+	// H0′(z) = −H1(z), checked by finite differences at complex z.
+	for _, z := range []complex128{complex(1.5, 0.5), complex(4, 4), complex(0.3, 0.3)} {
+		h := 1e-6
+		fd := (Hankel0(z+complex(h, 0)) - Hankel0(z-complex(h, 0))) / complex(2*h, 0)
+		want := -Hankel1(z)
+		if d := relDiff(fd, want); d > 1e-5 {
+			t.Errorf("H0'(%v): fd %v vs −H1 %v rel %g", z, fd, want, d)
+		}
+	}
+}
+
+func TestPeriodic2DEwaldVsDirect(t *testing.T) {
+	L := 5e-6
+	k := complex(4e5, 8e5) // lossy enough for a short direct sum
+	gd := NewPeriodic2D(k, L)
+	if gd.UsesEwald() {
+		t.Fatal("expected direct strategy")
+	}
+	ge := NewPeriodic2D(k, L)
+	ge.useEwald = true
+	ge.nSpec = 4
+	ge.nSpat = 3
+	x := cmplx.Abs(k) / (2 * ge.E)
+	ge.qMax = 8 + int(3*x*x)
+
+	for _, p := range [][2]float64{{1e-6, 0.4e-6}, {2.4e-6, -0.9e-6}, {0.2e-6, 0.1e-6}} {
+		vd, gradD := gd.EvalGrad(p[0], p[1])
+		ve, gradE := ge.EvalGrad(p[0], p[1])
+		if d := relDiff(ve, vd); d > 1e-7 {
+			t.Errorf("2D G at %v: ewald %v direct %v rel %g", p, ve, vd, d)
+		}
+		for i := 0; i < 2; i++ {
+			if d := relDiff(gradE[i], gradD[i]); d > 1e-5 {
+				t.Errorf("2D ∇G[%d] at %v rel %g", i, p, d)
+			}
+		}
+	}
+}
+
+func TestPeriodic2DAgainstFloquetReference(t *testing.T) {
+	L := 5e-6
+	for _, k := range []complex128{complex(1.2e3, 0), complex(4e5, 2e5)} {
+		g := NewPeriodic2D(k, L)
+		if !g.UsesEwald() {
+			g.useEwald = true
+			g.nSpec = 4
+			g.nSpat = 3
+			x := cmplx.Abs(k) / (2 * g.E)
+			g.qMax = 8 + int(3*x*x)
+		}
+		for _, p := range [][2]float64{{1e-6, 2e-6}, {0.4e-6, -2.2e-6}} {
+			got := g.Eval(p[0], p[1])
+			want := refSpectral2D(k, L, p[0], p[1], 40)
+			if d := relDiff(got, want); d > 1e-7 {
+				t.Errorf("k=%v p=%v: got %v want %v rel %g", k, p, got, want, d)
+			}
+		}
+	}
+}
+
+func TestPeriodic2DEwaldSplitInvariance(t *testing.T) {
+	L := 5e-6
+	k := complex(1.2e3, 0)
+	g1 := NewPeriodic2D(k, L)
+	g2 := NewPeriodic2D(k, L)
+	g2.E = g1.E * 1.5
+	g2.nSpec = 5
+	for _, p := range [][2]float64{{1.2e-6, 0.5e-6}, {2.2e-6, -0.8e-6}} {
+		v1 := g1.Eval(p[0], p[1])
+		v2 := g2.Eval(p[0], p[1])
+		if d := relDiff(v1, v2); d > 1e-8 {
+			t.Errorf("2D E-invariance at %v: %g", p, d)
+		}
+	}
+}
+
+func TestPeriodic2DRegularizedLimit(t *testing.T) {
+	L := 5e-6
+	for _, k := range []complex128{complex(1.2e3, 0), complex(1.4e6, 1.4e6)} {
+		g := NewPeriodic2D(k, L)
+		reg := g.EvalRegularized()
+		for _, eps := range []float64{1e-9, 3e-10} {
+			got := g.Eval(eps, 0) + complex(math.Log(eps)/(2*math.Pi), 0)
+			if d := cmplx.Abs(got-reg) / (cmplx.Abs(reg) + 1e-300); d > 2e-2 {
+				t.Errorf("k=%v ε=%g: %v vs %v (%g)", k, eps, got, reg, d)
+			}
+		}
+	}
+}
+
+func TestPeriodic2DGradientFiniteDifference(t *testing.T) {
+	L := 5e-6
+	for _, k := range []complex128{complex(1.2e3, 0), complex(1.4e6, 1.4e6)} {
+		g := NewPeriodic2D(k, L)
+		p := [2]float64{1.3e-6, 0.6e-6}
+		_, grad := g.EvalGrad(p[0], p[1])
+		h := 1e-12
+		for i := 0; i < 2; i++ {
+			pp, pm := p, p
+			pp[i] += h
+			pm[i] -= h
+			fd := (g.Eval(pp[0], pp[1]) - g.Eval(pm[0], pm[1])) / complex(2*h, 0)
+			if d := relDiff(grad[i], fd); d > 1e-4 {
+				t.Errorf("k=%v 2D grad[%d]: %v vs fd %v rel %g", k, i, grad[i], fd, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package greens
+
+import (
+	"math"
+	"math/cmplx"
+
+	"roughsim/internal/specfun"
+)
+
+// Hankel0 returns the Hankel function of the first kind H₀⁽¹⁾(z) for
+// complex argument with Re z ≥ 0 — the free-space 2-D Helmholtz kernel
+// is (j/4)·H₀⁽¹⁾(kR), and the conductor medium needs it at
+// arg z = π/4 (k₂ = (1+j)/δ).
+//
+// Small |z| uses the ascending series of J₀ and Y₀ (entire/log series);
+// large |z| uses the Hankel asymptotic expansion, which converges to
+// ~1e−10 for |z| ≥ 9 in the upper half-plane.
+func Hankel0(z complex128) complex128 {
+	if real(z) < 0 {
+		panic("greens: Hankel0 requires Re z ≥ 0")
+	}
+	if cmplx.Abs(z) < 9 {
+		j0 := besselJ0(z)
+		y0 := besselY0(z, j0)
+		return j0 + complex(0, 1)*y0
+	}
+	return hankel0Asymptotic(z)
+}
+
+// besselJ0 evaluates J₀(z) = Σ (−z²/4)^m/(m!)² by its (entire) power
+// series; for |z| < 9 fewer than 40 terms reach round-off.
+func besselJ0(z complex128) complex128 {
+	q := -z * z / 4
+	term := complex(1, 0)
+	sum := term
+	for m := 1; m < 60; m++ {
+		term *= q / complex(float64(m)*float64(m), 0)
+		sum += term
+		if cmplx.Abs(term) < 1e-17*cmplx.Abs(sum) {
+			break
+		}
+	}
+	return sum
+}
+
+// besselY0 evaluates Y₀(z) from the standard log series
+// Y₀ = (2/π)·[(ln(z/2)+γ)·J₀(z) + Σ (−1)^{m+1} H_m (z²/4)^m/(m!)²],
+// where H_m is the m-th harmonic number.
+func besselY0(z, j0 complex128) complex128 {
+	q := z * z / 4
+	term := complex(1, 0)
+	var sum complex128
+	var harmonic float64
+	for m := 1; m < 60; m++ {
+		term *= q / complex(float64(m)*float64(m), 0)
+		harmonic += 1 / float64(m)
+		contrib := term * complex(harmonic, 0)
+		if m%2 == 1 {
+			sum += contrib
+		} else {
+			sum -= contrib
+		}
+		if cmplx.Abs(contrib) < 1e-17*(cmplx.Abs(sum)+1e-300) {
+			break
+		}
+	}
+	return 2 / math.Pi * ((cmplx.Log(z/2)+complex(specfun.EulerGamma, 0))*j0 + sum)
+}
+
+// hankel0Asymptotic evaluates H₀⁽¹⁾(z) ≈ sqrt(2/(πz))·e^{j(z−π/4)}·Σ jᵐaₘ/zᵐ
+// with aₘ(ν=0) built from the recurrence
+// term_m = term_{m−1}·j·(4ν²−(2m−1)²)/(8m·z), ν = 0.
+func hankel0Asymptotic(z complex128) complex128 {
+	term := complex(1, 0)
+	sum := term
+	for m := 1; m <= 20; m++ {
+		fm := float64(m)
+		term *= complex(0, 1) * complex(-(2*fm-1)*(2*fm-1)/(8*fm), 0) / z
+		if cmplx.Abs(term) > cmplx.Abs(sum) {
+			break // divergence point of the asymptotic series
+		}
+		sum += term
+		if cmplx.Abs(term) < 1e-16*cmplx.Abs(sum) {
+			break
+		}
+	}
+	pref := cmplx.Sqrt(2/(math.Pi*z)) * cmplx.Exp(complex(0, 1)*(z-complex(math.Pi/4, 0)))
+	return pref * sum
+}
+
+// Hankel1 returns H₁⁽¹⁾(z) = −d/dz H₀⁽¹⁾(z) for Re z ≥ 0, needed for
+// gradients of the 2-D kernel.
+func Hankel1(z complex128) complex128 {
+	if real(z) < 0 {
+		panic("greens: Hankel1 requires Re z ≥ 0")
+	}
+	if cmplx.Abs(z) < 9 {
+		j1 := besselJ1(z)
+		y1 := besselY1(z, j1)
+		return j1 + complex(0, 1)*y1
+	}
+	return hankel1Asymptotic(z)
+}
+
+// besselJ1 evaluates J₁(z) = (z/2)·Σ (−z²/4)^m/(m!·(m+1)!).
+func besselJ1(z complex128) complex128 {
+	q := -z * z / 4
+	term := complex(1, 0)
+	sum := term
+	for m := 1; m < 60; m++ {
+		term *= q / complex(float64(m)*float64(m+1), 0)
+		sum += term
+		if cmplx.Abs(term) < 1e-17*cmplx.Abs(sum) {
+			break
+		}
+	}
+	return z / 2 * sum
+}
+
+// besselY1 uses the series
+// Y₁ = (2/π)·[(ln(z/2)+γ)·J₁ − 1/z − (z/4)·Σ (−1)^m (H_m + H_{m+1})·(z²/4)^m/(m!(m+1)!)].
+func besselY1(z, j1 complex128) complex128 {
+	q := z * z / 4
+	// m = 0 term of the series: (H₀ + H₁) = 1.
+	term := complex(1, 0)
+	sum := complex(1, 0)
+	hm := 0.0
+	hm1 := 1.0
+	for m := 1; m < 60; m++ {
+		term *= -q / complex(float64(m)*float64(m+1), 0)
+		hm += 1 / float64(m)
+		hm1 += 1 / float64(m+1)
+		contrib := term * complex(hm+hm1, 0)
+		sum += contrib
+		if cmplx.Abs(contrib) < 1e-17*(cmplx.Abs(sum)+1e-300) {
+			break
+		}
+	}
+	return 2 / math.Pi * ((cmplx.Log(z/2)+complex(specfun.EulerGamma, 0))*j1 - 1/z - z/4*sum)
+}
+
+// hankel1Asymptotic: H₁⁽¹⁾(z) ≈ sqrt(2/(πz))·e^{j(z−3π/4)}·Σ bₘ/zᵐ with
+// bₘ = b_{m−1}·j·(4−(2m−1)²)/(8m)·(−1)… via the recurrence
+// bₘ = b_{m−1}·j·((4·1²−(2m−1)²))/(8m) where μ = 4ν² = 4.
+func hankel1Asymptotic(z complex128) complex128 {
+	term := complex(1, 0)
+	sum := term
+	for m := 1; m <= 20; m++ {
+		fm := float64(m)
+		c := (4 - (2*fm-1)*(2*fm-1)) / (8 * fm)
+		term *= complex(0, 1) * complex(c, 0) / z
+		if cmplx.Abs(term) > cmplx.Abs(sum) {
+			break
+		}
+		sum += term
+		if cmplx.Abs(term) < 1e-16*cmplx.Abs(sum) {
+			break
+		}
+	}
+	pref := cmplx.Sqrt(2/(math.Pi*z)) * cmplx.Exp(complex(0, 1)*(z-complex(3*math.Pi/4, 0)))
+	return pref * sum
+}

@@ -1,0 +1,137 @@
+package hbm
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"roughsim/internal/units"
+)
+
+const um = 1e-6
+
+func TestPolarizabilityPECLimit(t *testing.T) {
+	// a ≫ δ: α_m → −a³/2.
+	a := 10 * um
+	alpha := MagneticPolarizability(a, 0.01*um)
+	want := -a * a * a / 2
+	if cmplx.Abs(alpha-complex(want, 0))/math.Abs(want) > 0.01 {
+		t.Fatalf("PEC limit: α = %v, want ≈ %g", alpha, want)
+	}
+}
+
+func TestPolarizabilitySmallSphereLimit(t *testing.T) {
+	// a ≪ δ: α_m → a³·x²/30 with x² = 2j·(a/δ)² (expansion of the
+	// bracket: −x²/15).
+	a := 0.05 * um
+	delta := 10 * um
+	alpha := MagneticPolarizability(a, delta)
+	x2 := complex(0, 2) * complex(a/delta*a/delta, 0)
+	want := complex(a*a*a/30, 0) * x2
+	if cmplx.Abs(alpha-want)/cmplx.Abs(want) > 0.01 {
+		t.Fatalf("small-sphere limit: α = %v, want %v", alpha, want)
+	}
+}
+
+func TestHemisphereAbsorbedRatioPECLimit(t *testing.T) {
+	// Strong skin effect: hemisphere dissipates like 3πa² of flat metal.
+	a := 10 * um
+	for _, delta := range []float64{0.2 * um, 0.1 * um} {
+		got := HemisphereAbsorbedRatio(a, delta)
+		// First-order correction is O(δ/a); at δ/a = 0.01–0.02 we should
+		// be within a few percent of 3πa².
+		want := 3 * math.Pi * a * a
+		if math.Abs(got-want)/want > 0.1 {
+			t.Errorf("δ=%g: effective area %g, want ≈ %g", delta, got, want)
+		}
+	}
+}
+
+func TestHemisphereAbsorbedRatioMonotone(t *testing.T) {
+	// At fixed a, a smaller skin depth cannot decrease the effective
+	// absorbing area below the flat base — K ≥ 1 territory.
+	a := 5 * um
+	prev := 0.0
+	for _, f := range []float64{1, 2, 5, 10, 20} {
+		delta := units.SkinDepthCopper(f * units.GHz)
+		got := HemisphereAbsorbedRatio(a, delta)
+		if got < prev {
+			t.Fatalf("effective area decreased with frequency: %g after %g", got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestModelLossFactorRange(t *testing.T) {
+	// Fig. 5 regime: volume-equivalent hemisphere of the half-spheroid
+	// (h=5.8, b=4.7 μm) on a tile sized so bosses nearly touch.
+	a := EquivalentSphereRadius(5.8*um, 4.7*um)
+	m := Model{Radius: a, Tile: 97e-12, Rho: units.CopperResistivity}
+	kLow := m.LossFactor(1 * units.GHz)
+	kHigh := m.LossFactor(20 * units.GHz)
+	if kLow <= 1 || kHigh <= kLow {
+		t.Fatalf("K(1GHz)=%g K(20GHz)=%g: want increasing and > 1", kLow, kHigh)
+	}
+	// The paper's Fig. 5 spans roughly 1.8 → 2.8 over 1–20 GHz.
+	if kHigh < 1.8 || kHigh > 4 {
+		t.Fatalf("K(20GHz) = %g outside the plausible Fig. 5 band", kHigh)
+	}
+}
+
+func TestModelFlatLimit(t *testing.T) {
+	// A vanishing boss density (huge tile) gives K → 1.
+	m := Model{Radius: 1 * um, Tile: 1e-6, Rho: units.CopperResistivity}
+	if k := m.LossFactor(10 * units.GHz); math.Abs(k-1) > 1e-4 {
+		t.Fatalf("dilute limit K = %g, want ≈ 1", k)
+	}
+}
+
+func TestHuraySnowball(t *testing.T) {
+	// High-frequency saturation: K → 1 + (3/2)·N·4πa²/A.
+	a := 0.5 * um
+	tile := 100e-12
+	kSat := 1 + 1.5*4*math.Pi*a*a/tile
+	k := HuraySnowball(1000*units.GHz, a, tile, 1, units.CopperResistivity)
+	if math.Abs(k-kSat)/kSat > 0.05 {
+		t.Fatalf("saturation K = %g, want ≈ %g", k, kSat)
+	}
+	// Low frequency: K → 1.
+	k = HuraySnowball(0.001*units.GHz, a, tile, 1, units.CopperResistivity)
+	if k > 1.02 {
+		t.Fatalf("low-f K = %g, want ≈ 1", k)
+	}
+	// Monotone in f.
+	prev := 0.0
+	for _, f := range []float64{0.1, 1, 5, 10, 50} {
+		v := HuraySnowball(f*units.GHz, a, tile, 1, units.CopperResistivity)
+		if v < prev {
+			t.Fatalf("Huray K not monotone")
+		}
+		prev = v
+	}
+}
+
+func TestEquivalentSphereRadius(t *testing.T) {
+	// Volume matching: (2/3)πr³ = (2/3)π·b²·h.
+	r := EquivalentSphereRadius(5.8*um, 4.7*um)
+	if math.Abs(r*r*r-4.7*4.7*5.8*um*um*um)/(r*r*r) > 1e-12 {
+		t.Fatalf("volume mismatch: r = %g", r)
+	}
+	// A hemisphere maps to itself.
+	if got := EquivalentSphereRadius(2*um, 2*um); math.Abs(got-2*um) > 1e-18 {
+		t.Fatalf("hemisphere should map to its own radius, got %g", got)
+	}
+}
+
+func TestScatteringNegligibleAtGHz(t *testing.T) {
+	a := EquivalentSphereRadius(5.8*um, 4.7*um)
+	m1 := Model{Radius: a, Tile: 97e-12, Rho: units.CopperResistivity}
+	m2 := m1
+	m2.IncludeScattering = true
+	m2.EpsR = 3.7
+	k1 := m1.LossFactor(20 * units.GHz)
+	k2 := m2.LossFactor(20 * units.GHz)
+	if math.Abs(k2-k1) > 1e-3 {
+		t.Fatalf("dipole scattering should be negligible at 20 GHz: %g vs %g", k1, k2)
+	}
+}

@@ -1,0 +1,118 @@
+package mom
+
+import (
+	"math"
+	"testing"
+
+	"roughsim/internal/cmplxmat"
+	"roughsim/internal/rng"
+	"roughsim/internal/surface"
+	"roughsim/internal/units"
+)
+
+// mildSurface returns a realization smooth/shallow enough for the
+// Taylor-FFT operator's convergence bound (σ ≪ near-field radius·h).
+func mildSurface(m int, L, sigma float64) *surface.Surface {
+	c := surface.NewGaussianCorr(sigma, L/4)
+	kl := surface.NewKL(c, L, m)
+	return kl.SampleTruncated(rng.New(17), 10)
+}
+
+func TestFFTOperatorMatchesDenseMatVec(t *testing.T) {
+	L := 5 * um
+	m := 12
+	s := mildSurface(m, L, 0.08*um)
+	p := paramsAt(5 * units.GHz)
+	opt := Options{}
+
+	op, err := NewFFTOperator(s, p, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Assemble(s, p, opt)
+
+	src := rng.New(2)
+	n2 := 2 * m * m
+	x := make([]complex128, n2)
+	for i := range x {
+		x[i] = complex(src.NormFloat64(), src.NormFloat64())
+	}
+	yDense := sys.Matrix.MulVec(x)
+	yFFT := make([]complex128, n2)
+	op.MatVec(yFFT, x)
+
+	num := cmplxmat.Norm2(cmplxmat.Sub(yFFT, yDense))
+	den := cmplxmat.Norm2(yDense)
+	if num/den > 2e-3 {
+		t.Fatalf("FFT matvec deviates from dense by %g", num/den)
+	}
+}
+
+func TestFFTOperatorOrderConvergence(t *testing.T) {
+	// Raising the Taylor order must shrink the matvec error.
+	L := 5 * um
+	m := 10
+	s := mildSurface(m, L, 0.1*um)
+	p := paramsAt(5 * units.GHz)
+	sys := Assemble(s, p, Options{})
+	src := rng.New(3)
+	n2 := 2 * m * m
+	x := make([]complex128, n2)
+	for i := range x {
+		x[i] = complex(src.NormFloat64(), src.NormFloat64())
+	}
+	yDense := sys.Matrix.MulVec(x)
+
+	var prev float64 = math.Inf(1)
+	for _, order := range []int{1, 2, 4} {
+		op, err := NewFFTOperator(s, p, order, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := make([]complex128, n2)
+		op.MatVec(y, x)
+		e := cmplxmat.Norm2(cmplxmat.Sub(y, yDense)) / cmplxmat.Norm2(yDense)
+		if e > prev*1.5 {
+			t.Fatalf("order %d error %g did not improve on %g", order, e, prev)
+		}
+		prev = e
+	}
+	if prev > 5e-3 {
+		t.Fatalf("order-4 matvec error %g too large", prev)
+	}
+}
+
+func TestFFTOperatorSolveMatchesDense(t *testing.T) {
+	L := 5 * um
+	m := 12
+	s := mildSurface(m, L, 0.08*um)
+	p := paramsAt(5 * units.GHz)
+
+	dense, err := Assemble(s, p, Options{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := NewFFTOperator(s, p, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := op.Solve(op.RHS(p), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(sol.Pabs-dense.Pabs) / dense.Pabs; d > 5e-3 {
+		t.Fatalf("FFT-operator Pabs %g vs dense %g (rel %g)", sol.Pabs, dense.Pabs, d)
+	}
+}
+
+func TestFFTOperatorRejectsSteepSurface(t *testing.T) {
+	L := 5 * um
+	m := 10
+	c := surface.NewGaussianCorr(1*um, 1.5*um)
+	kl := surface.NewKL(c, L, m)
+	s := kl.SampleTruncated(rng.New(4), 8) // heights ~μm ≫ bound
+	p := paramsAt(5 * units.GHz)
+	if _, err := NewFFTOperator(s, p, 3, Options{}); err == nil {
+		t.Fatal("expected convergence-bound rejection for a steep surface")
+	}
+}

@@ -1,0 +1,124 @@
+package mom
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"roughsim/internal/rng"
+	"roughsim/internal/surface"
+	"roughsim/internal/units"
+)
+
+func TestTabulatedMatchesExactAssembly(t *testing.T) {
+	c := surface.NewGaussianCorr(1*um, 1*um)
+	L := 5 * um
+	m := 10
+	kl := surface.NewKL(c, L, m)
+	surf := kl.Sample(rng.New(21))
+	f := 5 * units.GHz
+	p := paramsAt(f)
+	opt := Options{}
+
+	exact := Assemble(surf, p, opt)
+	ts := NewTableSet(p, L, m, 8*um, opt)
+	tab, err := AssembleTabulated(surf, p, ts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Entrywise matrix agreement relative to the matrix scale.
+	scale := exact.Matrix.MaxAbs()
+	var worst float64
+	for i := range exact.Matrix.Data {
+		if d := cmplx.Abs(exact.Matrix.Data[i]-tab.Matrix.Data[i]) / scale; d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-7 {
+		t.Fatalf("tabulated matrix deviates: worst rel %g", worst)
+	}
+
+	se, err := exact.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tab.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(se.Pabs-st.Pabs) / se.Pabs; d > 1e-6 {
+		t.Fatalf("tabulated Pabs %g vs exact %g (rel %g)", st.Pabs, se.Pabs, d)
+	}
+}
+
+func TestTabulatedRejectsMismatch(t *testing.T) {
+	p := paramsAt(5 * units.GHz)
+	ts := NewTableSet(p, 5*um, 8, 2*um, Options{})
+	// Wrong grid.
+	if _, err := AssembleTabulated(surface.NewFlat(5*um, 10), p, ts, Options{}); err == nil {
+		t.Fatal("expected grid mismatch error")
+	}
+	// Height out of span.
+	s := surface.NewFlat(5*um, 8)
+	s.H[0] = 3 * um
+	if _, err := AssembleTabulated(s, p, ts, Options{}); err == nil {
+		t.Fatal("expected span error")
+	}
+	// Option mismatch.
+	if _, err := AssembleTabulated(surface.NewFlat(5*um, 8), p, ts, Options{NearSubdiv: 2}); err == nil {
+		t.Fatal("expected option mismatch error")
+	}
+}
+
+func TestChebyshevInterpolationMachinery(t *testing.T) {
+	// Interpolate a known smooth complex function and check accuracy.
+	span := 3.0
+	nodes := chebNodes(chebDegree, span)
+	smp := make([]complex128, chebDegree)
+	f := func(z float64) complex128 {
+		// Smooth on [−span, span]: nearest pole at z = −5.
+		return cmplx.Exp(complex(0, 1.3*z)) / complex(5+z, 0)
+	}
+	for k, z := range nodes {
+		smp[k] = f(z)
+	}
+	coef := chebCoeffs(smp)
+	for _, z := range []float64{-2.9, -1.1, 0, 0.37, 2.5} {
+		got := clenshaw(coef, z/span)
+		want := f(z)
+		if cmplx.Abs(got-want) > 1e-9*(1+cmplx.Abs(want)) {
+			t.Fatalf("chebyshev interp at %g: %v vs %v", z, got, want)
+		}
+	}
+}
+
+func TestNearOffsetIndexRoundTrip(t *testing.T) {
+	tb := &tabulated{sub: 4, near: 2, h: 0.5}
+	tb.nearDim = (2*tb.near + 1) * tb.sub
+	for c := -2; c <= 2; c++ {
+		for s := 0; s < 4; s++ {
+			idx := tb.nearIndex(c, s)
+			if idx < 0 || idx >= tb.nearDim {
+				t.Fatalf("index out of range: c=%d s=%d idx=%d", c, s, idx)
+			}
+			// The offset of this index must equal c·h − sub-shift.
+			o := ((float64(s)+0.5)/4 - 0.5) * tb.h
+			want := float64(c)*tb.h - o
+			if got := tb.nearOffset(idx); math.Abs(got-want) > 1e-15 {
+				t.Fatalf("offset mismatch c=%d s=%d: %g vs %g", c, s, got, want)
+			}
+		}
+	}
+}
+
+func TestWrapOffset(t *testing.T) {
+	cases := []struct{ d, m, want int }{
+		{0, 8, 0}, {1, 8, 1}, {4, 8, 4}, {5, 8, -3}, {7, 8, -1}, {-1, 8, -1}, {-7, 8, 1}, {9, 8, 1},
+	}
+	for _, c := range cases {
+		if got := wrapOffset(c.d, c.m); got != c.want {
+			t.Errorf("wrapOffset(%d, %d) = %d, want %d", c.d, c.m, got, c.want)
+		}
+	}
+}

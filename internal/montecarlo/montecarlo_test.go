@@ -1,0 +1,68 @@
+package montecarlo
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMeanOfLinearFunction(t *testing.T) {
+	// E[1 + 0.5ξ₀ − 0.2ξ₁] = 1; sd = sqrt(0.25+0.04).
+	f := func(xi []float64) (float64, error) { return 1 + 0.5*xi[0] - 0.2*xi[1], nil }
+	res, err := Run(2, 20000, f, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mean-1) > 4*res.StdErr+1e-9 {
+		t.Fatalf("mean %g ± %g, want 1", res.Mean, res.StdErr)
+	}
+	wantSd := math.Sqrt(0.29)
+	gotSd := res.StdErr * math.Sqrt(20000)
+	if math.Abs(gotSd-wantSd)/wantSd > 0.05 {
+		t.Fatalf("sd %g, want %g", gotSd, wantSd)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	f := func(xi []float64) (float64, error) { return xi[0] * xi[0], nil }
+	a, err := Run(1, 100, f, Options{Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(1, 100, f, Options{Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs across worker counts: %g vs %g", i, a.Samples[i], b.Samples[i])
+		}
+	}
+}
+
+func TestErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	f := func(xi []float64) (float64, error) { return 0, boom }
+	if _, err := Run(1, 10, f, Options{}); !errors.Is(err, boom) {
+		t.Fatalf("expected wrapped evaluator error, got %v", err)
+	}
+}
+
+func TestSamplesForTolerance(t *testing.T) {
+	// sd = 0.07, tol = 0.001 ⇒ 4900 samples: the paper's "5000 samples
+	// for ~1% convergence" regime.
+	n := SamplesForTolerance(0.07, 0.001)
+	if n < 4800 || n > 5000 {
+		t.Fatalf("n = %d, want ≈ 4900", n)
+	}
+}
+
+func TestRejectsBadArgs(t *testing.T) {
+	f := func(xi []float64) (float64, error) { return 0, nil }
+	if _, err := Run(0, 10, f, Options{}); err == nil {
+		t.Fatal("expected error for d=0")
+	}
+	if _, err := Run(1, 0, f, Options{}); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}

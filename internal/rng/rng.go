@@ -1,0 +1,101 @@
+// Package rng provides a small deterministic random number generator for
+// reproducible surface realizations and Monte-Carlo runs.
+//
+// It implements PCG-XSH-RR 64/32 (O'Neill 2014) with an explicit state,
+// so two streams with the same seed produce identical sequences on every
+// platform and Go release — a property math/rand's default source does
+// not guarantee across versions. Gaussian variates use the polar
+// Box–Muller transform.
+package rng
+
+import "math"
+
+// Source is a deterministic PCG32 stream.
+type Source struct {
+	state uint64
+	inc   uint64
+	// Cached second Box–Muller variate.
+	gauss   float64
+	hasGaus bool
+}
+
+// New returns a Source seeded from seed with the default stream.
+func New(seed uint64) *Source {
+	return NewStream(seed, 0xda3e39cb94b95bdb)
+}
+
+// NewStream returns a Source with an explicit stream selector, allowing
+// independent parallel streams from one logical seed.
+func NewStream(seed, stream uint64) *Source {
+	s := &Source{inc: (stream << 1) | 1}
+	s.state = 0
+	s.next()
+	s.state += seed
+	s.next()
+	return s
+}
+
+func (s *Source) next() uint32 {
+	old := s.state
+	s.state = old*6364136223846793005 + s.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Source) Uint64() uint64 {
+	hi := uint64(s.next())
+	lo := uint64(s.next())
+	return hi<<32 | lo
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate via polar Box–Muller.
+func (s *Source) NormFloat64() float64 {
+	if s.hasGaus {
+		s.hasGaus = false
+		return s.gauss
+	}
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		r2 := u*u + v*v
+		if r2 >= 1 || r2 == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(r2) / r2)
+		s.gauss = v * f
+		s.hasGaus = true
+		return u * f
+	}
+}
+
+// NormVec fills a fresh slice of length n with iid standard normals.
+func (s *Source) NormVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = s.NormFloat64()
+	}
+	return v
+}

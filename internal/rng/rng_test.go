@@ -1,0 +1,128 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(42, 1)
+	b := NewStream(42, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams collide: %d/1000 equal outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	s := New(8)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	varc := sum2/n - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean %g, want 0.5", mean)
+	}
+	if math.Abs(varc-1.0/12) > 0.003 {
+		t.Errorf("uniform variance %g, want %g", varc, 1.0/12)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(9)
+	const n = 300000
+	var sum, sum2, sum3, sum4 float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sum2 += v * v
+		sum3 += v * v * v
+		sum4 += v * v * v * v
+	}
+	mean := sum / n
+	varc := sum2/n - mean*mean
+	skew := sum3 / n
+	kurt := sum4 / n
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean %g", mean)
+	}
+	if math.Abs(varc-1) > 0.02 {
+		t.Errorf("normal variance %g", varc)
+	}
+	if math.Abs(skew) > 0.03 {
+		t.Errorf("normal skewness %g", skew)
+	}
+	if math.Abs(kurt-3) > 0.1 {
+		t.Errorf("normal kurtosis %g, want 3", kurt)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(10)
+	const n = 120000
+	const k = 12
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		counts[s.Intn(k)]++
+	}
+	want := float64(n) / k
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Errorf("bucket %d count %d deviates from %g", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormVec(t *testing.T) {
+	s := New(11)
+	v := s.NormVec(1000)
+	if len(v) != 1000 {
+		t.Fatal("NormVec length")
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if math.Abs(sum/1000) > 0.15 {
+		t.Errorf("NormVec mean %g too far from 0", sum/1000)
+	}
+}

@@ -1,0 +1,49 @@
+package specfun
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// faddeevaIntegral evaluates w(z) for Im z > 0 directly from the defining
+// integral w(z) = (i/π) ∫ exp(−t²)/(z−t) dt over the real line, using a
+// fine trapezoid on [−9, 9]. Slow but independent of the rational
+// expansion — it arbitrates the implementation.
+func faddeevaIntegral(z complex128) complex128 {
+	const a = 9.0
+	const n = 400001
+	h := 2 * a / float64(n-1)
+	var sum complex128
+	for i := 0; i < n; i++ {
+		t := -a + float64(i)*h
+		v := complex(math.Exp(-t*t), 0) / (z - complex(t, 0))
+		if i == 0 || i == n-1 {
+			v /= 2
+		}
+		sum += v
+	}
+	return complex(0, 1) / math.Pi * sum * complex(h, 0)
+}
+
+func TestFaddeevaAgainstDefiningIntegral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integral reference is slow")
+	}
+	pts := []complex128{
+		complex(0.5, 0.5),
+		complex(1, 1),
+		complex(2, 3),
+		complex(5, 0.5),
+		complex(-2, 0.8),
+		complex(0.1, 2.5),
+		complex(8, 4),
+	}
+	for _, z := range pts {
+		ref := faddeevaIntegral(z)
+		got := Faddeeva(z)
+		if d := cmplx.Abs(got-ref) / cmplx.Abs(ref); d > 1e-7 {
+			t.Errorf("w(%v): impl %v vs integral %v (rel err %g)", z, got, ref, d)
+		}
+	}
+}

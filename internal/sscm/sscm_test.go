@@ -1,0 +1,156 @@
+package sscm
+
+import (
+	"math"
+	"testing"
+
+	"roughsim/internal/rng"
+	"roughsim/internal/stats"
+)
+
+func TestMultiIndicesCount(t *testing.T) {
+	// |{α : |α| ≤ p}| = C(d+p, p).
+	cases := []struct{ d, p, want int }{
+		{1, 2, 3},
+		{2, 2, 6},
+		{3, 1, 4},
+		{16, 1, 17},
+		{16, 2, 153},
+	}
+	for _, c := range cases {
+		got := len(multiIndices(c.d, c.p))
+		if got != c.want {
+			t.Errorf("d=%d p=%d: %d indices, want %d", c.d, c.p, got, c.want)
+		}
+	}
+	// First index must be the constant term.
+	mi := multiIndices(4, 2)
+	for _, v := range mi[0] {
+		if v != 0 {
+			t.Fatal("index 0 is not the constant term")
+		}
+	}
+}
+
+func TestPCEExactQuadratic(t *testing.T) {
+	// K(ξ) = 3 + 2ξ₀ − ξ₁ + 0.5ξ₀ξ₁ + ξ₂² is total degree 2: a 2nd-order
+	// PCE must reproduce it exactly (sparse grid level 2 integrates
+	// degree ≤ 5 exactly, covering K·He_α up to degree 4).
+	d := 3
+	f := func(xi []float64) (float64, error) {
+		return 3 + 2*xi[0] - xi[1] + 0.5*xi[0]*xi[1] + xi[2]*xi[2], nil
+	}
+	res, err := Run(d, 2, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[K] = 3 + E[ξ₂²] = 4.
+	if math.Abs(res.PCE.Mean()-4) > 1e-9 {
+		t.Fatalf("mean %g, want 4", res.PCE.Mean())
+	}
+	// Var = 4 + 1 + 0.25·1 + Var(ξ²=He₂+1 ⇒ c=1, 1!·... = 2) = 7.25.
+	if math.Abs(res.PCE.Variance()-7.25) > 1e-9 {
+		t.Fatalf("variance %g, want 7.25", res.PCE.Variance())
+	}
+	// Pointwise agreement.
+	src := rng.New(4)
+	for i := 0; i < 50; i++ {
+		xi := src.NormVec(d)
+		want, _ := f(xi)
+		if got := res.PCE.Eval(xi); math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+			t.Fatalf("surrogate mismatch at %v: %g vs %g", xi, got, want)
+		}
+	}
+}
+
+func TestFirstOrderCapturesLinearPart(t *testing.T) {
+	// 1st-order SSCM of a linear function is exact.
+	d := 5
+	f := func(xi []float64) (float64, error) {
+		s := 1.0
+		for i, v := range xi {
+			s += float64(i+1) * 0.1 * v
+		}
+		return s, nil
+	}
+	res, err := Run(d, 1, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points != 2*d+1 {
+		t.Fatalf("1st-order points = %d, want %d", res.Points, 2*d+1)
+	}
+	if math.Abs(res.PCE.Mean()-1) > 1e-10 {
+		t.Fatalf("mean %g, want 1", res.PCE.Mean())
+	}
+	var wantVar float64
+	for i := 1; i <= d; i++ {
+		wantVar += float64(i) * float64(i) * 0.01
+	}
+	if math.Abs(res.PCE.Variance()-wantVar) > 1e-10 {
+		t.Fatalf("variance %g, want %g", res.PCE.Variance(), wantVar)
+	}
+}
+
+func TestSurrogateCDFMatchesDirectSampling(t *testing.T) {
+	// For a smooth nonlinear function, the 2nd-order surrogate CDF must
+	// be close (KS distance) to the true sampled CDF — the Fig. 7
+	// comparison in miniature.
+	d := 4
+	f := func(xi []float64) (float64, error) {
+		s := 1.5
+		for i, v := range xi {
+			s += 0.1*v + 0.02*float64(i+1)*v*v
+		}
+		s += 0.03 * xi[0] * xi[1]
+		return s, nil
+	}
+	res, err := Run(d, 2, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	sur := res.PCE.Sample(n, 99)
+	src := rng.New(99)
+	direct := make([]float64, n)
+	for i := range direct {
+		v, _ := f(src.NormVec(d))
+		direct[i] = v
+	}
+	ks := stats.KSDistance(stats.NewECDF(sur), stats.NewECDF(direct))
+	if ks > 0.02 {
+		t.Fatalf("surrogate KS distance %g too large", ks)
+	}
+}
+
+func TestGridSizeMatchesPaperTable1(t *testing.T) {
+	// 1st-order: 2d+1 ⇒ 33 (d=16, Gaussian CF), 39 (d=19, CF 12).
+	if got := GridSize(16, 1); got != 33 {
+		t.Errorf("GridSize(16,1) = %d, want 33", got)
+	}
+	if got := GridSize(19, 1); got != 39 {
+		t.Errorf("GridSize(19,1) = %d, want 39", got)
+	}
+	// 2nd-order grids stay well under the 5000-sample MC budget
+	// (the paper reports 345/462 with its rule; ours are a few hundred).
+	if got := GridSize(16, 2); got < 100 || got > 1000 {
+		t.Errorf("GridSize(16,2) = %d, want a few hundred", got)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if _, err := Run(0, 1, func([]float64) (float64, error) { return 0, nil }, Options{}); err == nil {
+		t.Fatal("expected error for d=0")
+	}
+}
+
+func TestOrderZeroIsMeanOnly(t *testing.T) {
+	f := func(xi []float64) (float64, error) { return 7, nil }
+	res, err := Run(3, 0, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points != 1 || math.Abs(res.PCE.Mean()-7) > 1e-12 || res.PCE.Variance() != 0 {
+		t.Fatalf("order-0 run wrong: %+v", res)
+	}
+}

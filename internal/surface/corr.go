@@ -1,0 +1,164 @@
+// Package surface models the 3D random rough conductor surface of the
+// paper: a stationary Gaussian process for the height f(x,y) over a
+// doubly-periodic L×L patch, characterized by a correlation function
+// (Sec. II), plus the deterministic hemispheroidal protrusions used in
+// the HBM comparison (Fig. 5) and 1-D profiles for the 2D SWM variant.
+package surface
+
+import (
+	"fmt"
+	"math"
+
+	"roughsim/internal/quadrature"
+)
+
+// Corr is an isotropic spatial correlation function C(d) of a stationary
+// surface process, with its radial power spectral density.
+type Corr interface {
+	// Name identifies the CF in reports.
+	Name() string
+	// Sigma returns the RMS height σ (C(0) = σ²).
+	Sigma() float64
+	// At returns C(d) for lag distance d ≥ 0.
+	At(d float64) float64
+	// PSD returns W(k), the isotropic spectral density normalized so
+	// that σ² = ∫∫ W(|k⊥|) d²k⊥ = 2π ∫₀^∞ W(k)·k dk.
+	PSD(k float64) float64
+}
+
+// GaussianCorr is the paper's primary correlation function
+// C(d) = σ²·exp(−d²/η²) with correlation length η (Fig. 2, 3, 6, 7).
+type GaussianCorr struct {
+	SigmaH float64 // σ, RMS height
+	Eta    float64 // η, correlation length
+}
+
+// NewGaussianCorr validates and constructs a Gaussian CF.
+func NewGaussianCorr(sigma, eta float64) GaussianCorr {
+	if sigma <= 0 || eta <= 0 {
+		panic("surface: Gaussian CF needs σ > 0, η > 0")
+	}
+	return GaussianCorr{SigmaH: sigma, Eta: eta}
+}
+
+func (c GaussianCorr) Name() string {
+	return fmt.Sprintf("gaussian(σ=%.3g, η=%.3g)", c.SigmaH, c.Eta)
+}
+func (c GaussianCorr) Sigma() float64 { return c.SigmaH }
+
+// At returns σ²·exp(−d²/η²).
+func (c GaussianCorr) At(d float64) float64 {
+	return c.SigmaH * c.SigmaH * math.Exp(-d*d/(c.Eta*c.Eta))
+}
+
+// PSD returns the exact transform W(k) = σ²η²/(4π)·exp(−k²η²/4).
+func (c GaussianCorr) PSD(k float64) float64 {
+	return c.SigmaH * c.SigmaH * c.Eta * c.Eta / (4 * math.Pi) * math.Exp(-k*k*c.Eta*c.Eta/4)
+}
+
+// ExpCorr is the exponential CF C(d) = σ²·exp(−d/η), a rougher process
+// than Gaussian (non-differentiable sample paths); provided as an
+// extension beyond the paper's two CFs.
+type ExpCorr struct {
+	SigmaH float64
+	Eta    float64
+}
+
+// NewExpCorr validates and constructs an exponential CF.
+func NewExpCorr(sigma, eta float64) ExpCorr {
+	if sigma <= 0 || eta <= 0 {
+		panic("surface: exponential CF needs σ > 0, η > 0")
+	}
+	return ExpCorr{SigmaH: sigma, Eta: eta}
+}
+
+func (c ExpCorr) Name() string   { return fmt.Sprintf("exp(σ=%.3g, η=%.3g)", c.SigmaH, c.Eta) }
+func (c ExpCorr) Sigma() float64 { return c.SigmaH }
+
+// At returns σ²·exp(−d/η).
+func (c ExpCorr) At(d float64) float64 {
+	return c.SigmaH * c.SigmaH * math.Exp(-d/c.Eta)
+}
+
+// PSD returns the exact transform σ²η²/(2π)·(1+k²η²)^(−3/2).
+func (c ExpCorr) PSD(k float64) float64 {
+	u := 1 + k*k*c.Eta*c.Eta
+	return c.SigmaH * c.SigmaH * c.Eta * c.Eta / (2 * math.Pi) / (u * math.Sqrt(u))
+}
+
+// MeasuredCorr is the correlation function (12) extracted from the
+// measurement data of Braunisch et al. [4]:
+// C(d) = σ²·exp{−(d/η₁)·[1 − exp(−d/η₂)]}  (Fig. 4).
+// Its PSD has no closed form and is computed by a numerically evaluated
+// Hankel transform, cached on first use.
+type MeasuredCorr struct {
+	SigmaH     float64
+	Eta1, Eta2 float64
+
+	psdCache *hankelPSD
+}
+
+// NewMeasuredCorr constructs CF (12) with the paper's parameters when
+// called as NewMeasuredCorr(1e-6, 1.4e-6, 0.53e-6).
+func NewMeasuredCorr(sigma, eta1, eta2 float64) *MeasuredCorr {
+	if sigma <= 0 || eta1 <= 0 || eta2 <= 0 {
+		panic("surface: CF(12) needs positive σ, η₁, η₂")
+	}
+	c := &MeasuredCorr{SigmaH: sigma, Eta1: eta1, Eta2: eta2}
+	c.psdCache = newHankelPSD(c.At, eta1+eta2)
+	return c
+}
+
+func (c *MeasuredCorr) Name() string {
+	return fmt.Sprintf("measured(σ=%.3g, η1=%.3g, η2=%.3g)", c.SigmaH, c.Eta1, c.Eta2)
+}
+func (c *MeasuredCorr) Sigma() float64 { return c.SigmaH }
+
+// At returns C(d) per eq. (12).
+func (c *MeasuredCorr) At(d float64) float64 {
+	if d == 0 {
+		return c.SigmaH * c.SigmaH
+	}
+	return c.SigmaH * c.SigmaH * math.Exp(-(d/c.Eta1)*(1-math.Exp(-d/c.Eta2)))
+}
+
+// PSD returns the numerically transformed spectral density.
+func (c *MeasuredCorr) PSD(k float64) float64 { return c.psdCache.at(k) }
+
+// hankelPSD evaluates W(k) = (1/2π)·∫₀^∞ C(d)·J₀(kd)·d dd by composite
+// Gauss–Legendre panels out to many correlation lengths.
+type hankelPSD struct {
+	corr  func(float64) float64
+	scale float64 // characteristic correlation length
+}
+
+func newHankelPSD(corr func(float64) float64, scale float64) *hankelPSD {
+	return &hankelPSD{corr: corr, scale: scale}
+}
+
+func (h *hankelPSD) at(k float64) float64 {
+	// Integrate to where C has decayed to ~1e−9 of C(0); CF (12) decays
+	// like exp(−d/η₁) at large d, so 25·(η₁+η₂) is ample. Resolve the
+	// J₀ oscillation: panel width ≤ min(scale/2, π/(2k)).
+	upper := 25 * h.scale
+	width := h.scale / 2
+	if k > 0 {
+		if w := math.Pi / (2 * k); w < width {
+			width = w
+		}
+	}
+	n := int(math.Ceil(upper / width))
+	if n < 8 {
+		n = 8
+	}
+	if n > 20000 {
+		n = 20000
+	}
+	var sum float64
+	step := upper / float64(n)
+	for i := 0; i < n; i++ {
+		r := quadrature.GaussLegendreOn(6, float64(i)*step, float64(i+1)*step)
+		sum += r.Integrate(func(d float64) float64 { return h.corr(d) * math.J0(k*d) * d })
+	}
+	return sum / (2 * math.Pi)
+}

@@ -1,0 +1,111 @@
+package surface
+
+import (
+	"math"
+	"testing"
+
+	"roughsim/internal/rng"
+)
+
+func TestEstimateGaussianRecoversParameters(t *testing.T) {
+	// Round trip: synthesize from a known (σ, η), re-estimate.
+	sigma := 0.8 * um
+	eta := 1.2 * um
+	c := NewGaussianCorr(sigma, eta)
+	kl := NewKL(c, 6*um, 24)
+	src := rng.New(314)
+	var samples []*Surface
+	for i := 0; i < 80; i++ {
+		samples = append(samples, kl.Sample(src))
+	}
+	est, err := EstimateGaussian(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Sigma-sigma)/sigma > 0.06 {
+		t.Errorf("σ̂ = %g, want %g", est.Sigma, sigma)
+	}
+	// Residual leveling bias shortens the apparent correlation length by
+	// a few percent even after the offset correction (the plane removal
+	// is not a pure DC subtraction); 12%% is the documented accuracy.
+	if math.Abs(est.Eta-eta)/eta > 0.12 {
+		t.Errorf("η̂ = %g, want %g", est.Eta, eta)
+	}
+	if est.FitRMS > 0.05 {
+		t.Errorf("Gaussian fit misfit %g too large for Gaussian data", est.FitRMS)
+	}
+}
+
+func TestEstimateGaussianRemovesTilt(t *testing.T) {
+	// Adding a plane (measurement tilt) must not bias the estimates.
+	sigma := 0.5 * um
+	eta := 1.0 * um
+	kl := NewKL(NewGaussianCorr(sigma, eta), 5*um, 20)
+	src := rng.New(99)
+	var plain, tilted []*Surface
+	for i := 0; i < 60; i++ {
+		s := kl.Sample(src)
+		plain = append(plain, s)
+		tcopy := NewFlat(s.L, s.M)
+		copy(tcopy.H, s.H)
+		for iy := 0; iy < s.M; iy++ {
+			for ix := 0; ix < s.M; ix++ {
+				tcopy.H[iy*s.M+ix] += 3*um + 0.4*float64(ix)*s.Step() - 0.2*float64(iy)*s.Step()
+			}
+		}
+		tilted = append(tilted, tcopy)
+	}
+	a, err := EstimateGaussian(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateGaussian(tilted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Sigma-b.Sigma)/a.Sigma > 0.02 {
+		t.Errorf("tilt biased σ̂: %g vs %g", a.Sigma, b.Sigma)
+	}
+	if math.Abs(a.Eta-b.Eta)/a.Eta > 0.05 {
+		t.Errorf("tilt biased η̂: %g vs %g", a.Eta, b.Eta)
+	}
+}
+
+func TestEstimateGaussianDetectsNonGaussianCF(t *testing.T) {
+	// Data generated with the exponential CF must show a worse Gaussian
+	// misfit than Gaussian data does.
+	src := rng.New(5)
+	klG := NewKL(NewGaussianCorr(1*um, 1.2*um), 6*um, 24)
+	klE := NewKL(NewExpCorr(1*um, 1.2*um), 6*um, 24)
+	var sg, se []*Surface
+	for i := 0; i < 60; i++ {
+		sg = append(sg, klG.Sample(src))
+		se = append(se, klE.Sample(src))
+	}
+	a, err := EstimateGaussian(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateGaussian(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FitRMS <= a.FitRMS {
+		t.Errorf("exponential data misfit %g not larger than Gaussian %g", b.FitRMS, a.FitRMS)
+	}
+}
+
+func TestEstimateGaussianErrors(t *testing.T) {
+	if _, err := EstimateGaussian(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	flat := NewFlat(5*um, 8)
+	if _, err := EstimateGaussian([]*Surface{flat}); err == nil {
+		t.Fatal("flat input accepted")
+	}
+	a := NewFlat(5*um, 8)
+	b := NewFlat(6*um, 8)
+	if _, err := EstimateGaussian([]*Surface{a, b}); err == nil {
+		t.Fatal("mismatched grids accepted")
+	}
+}

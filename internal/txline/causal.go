@@ -1,0 +1,156 @@
+package txline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"roughsim/internal/units"
+)
+
+// CausalRoughness converts a real loss-enhancement profile K(f) into the
+// complex, causality-consistent correction factor for the conductor's
+// internal impedance.
+//
+// Multiplying only the series resistance by K(f) — the naive use of the
+// roughness factor — produces a non-causal line model: extra loss must
+// be accompanied by extra internal inductance (this is the point of the
+// "causal transmission line modeling" methodology of Hall et al. [5]).
+// The smooth-conductor internal impedance Z_int ∝ (1+j)·Rs(f) is already
+// causal, so it suffices to build a causal multiplicative correction
+// K_c(f) with Re K_c = K: by the Kramers–Kronig relation for a function
+// analytic in the upper half-plane that tends to a real constant K(∞),
+//
+//	Im K_c(f) = (2f/π)·P∫₀^∞ [K(∞) − K(ν)] / (ν² − f²) dν
+//
+// The transform is evaluated numerically from K samples on a frequency
+// grid with singularity extraction; beyond the grid K is extrapolated as
+// its last value (the saturating behaviour all roughness models share).
+type CausalRoughness struct {
+	freqs []float64
+	k     []float64
+	kInf  float64
+}
+
+// NewCausalRoughness builds the correction from K samples at the given
+// frequencies (Hz). Frequencies must be positive; they are sorted
+// internally. At least 4 points are required.
+func NewCausalRoughness(freqs, k []float64) (*CausalRoughness, error) {
+	if len(freqs) != len(k) || len(freqs) < 4 {
+		return nil, fmt.Errorf("txline: causal roughness needs ≥ 4 matched samples")
+	}
+	type pair struct{ f, k float64 }
+	ps := make([]pair, len(freqs))
+	for i := range freqs {
+		if freqs[i] <= 0 {
+			return nil, fmt.Errorf("txline: causal roughness needs positive frequencies")
+		}
+		if k[i] < 1 {
+			return nil, fmt.Errorf("txline: K(%g) = %g < 1 is unphysical", freqs[i], k[i])
+		}
+		ps[i] = pair{freqs[i], k[i]}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].f < ps[b].f })
+	c := &CausalRoughness{}
+	for _, p := range ps {
+		c.freqs = append(c.freqs, p.f)
+		c.k = append(c.k, p.k)
+	}
+	c.kInf = c.k[len(c.k)-1]
+	return c, nil
+}
+
+// K returns the interpolated real factor at f (clamped to the sample
+// range, matching the saturating physics).
+func (c *CausalRoughness) K(f float64) float64 {
+	n := len(c.freqs)
+	if f <= c.freqs[0] {
+		return c.k[0]
+	}
+	if f >= c.freqs[n-1] {
+		return c.kInf
+	}
+	i := sort.SearchFloat64s(c.freqs, f)
+	lo, hi := i-1, i
+	t := (f - c.freqs[lo]) / (c.freqs[hi] - c.freqs[lo])
+	return c.k[lo]*(1-t) + c.k[hi]*t
+}
+
+// Factor returns the complex causal correction K_c(f) = K(f) + j·X(f).
+func (c *CausalRoughness) Factor(f float64) complex128 {
+	return complex(c.K(f), c.hilbert(f))
+}
+
+// hilbert evaluates the Kramers–Kronig integral by composite midpoint
+// quadrature on a log-spaced grid with the principal-value singularity
+// removed analytically:
+//
+//	X(f) = (2f/π)·∫ [g(f) − g(ν)]/(ν²−f²) dν + (g(f)·2f/π)·P∫ dν/(ν²−f²)
+//	     (with g = K − K(∞), combined from the singularity-extracted
+//	      smooth part and the closed-form principal value),
+//
+// where g = K − K(∞); the second integral over (0, νmax) is
+// (1/f)·ln|(νmax−f)/(νmax+f)|·… evaluated in closed form, and g vanishes
+// beyond the sampled band so the integration range is finite.
+func (c *CausalRoughness) hilbert(f float64) float64 {
+	fMax := c.freqs[len(c.freqs)-1]
+	// Integration covers (0, νmax]; above νmax, g ≡ 0.
+	nuMax := fMax
+	g := func(nu float64) float64 { return c.K(nu) - c.kInf }
+	gf := 0.0
+	if f < nuMax {
+		gf = g(f)
+	}
+	const n = 4000
+	var sum float64
+	// Linear grid is adequate: the integrand is smooth after the
+	// singularity extraction and the band is at most a few decades.
+	h := nuMax / n
+	for i := 0; i < n; i++ {
+		nu := (float64(i) + 0.5) * h
+		den := nu*nu - f*f
+		if math.Abs(den) < 1e-12*f*f+1e-300 {
+			continue
+		}
+		sum += (g(nu) - gf) / den * h
+	}
+	x := 2 * f / math.Pi * sum
+	// Closed-form principal value of ∫₀^{νmax} dν/(ν²−f²)
+	//  = (1/2f)·ln|(νmax−f)/(νmax+f)| for f ≠ νmax.
+	if gf != 0 && math.Abs(nuMax-f) > 1e-12*f {
+		pv := 1 / (2 * f) * math.Log(math.Abs((nuMax-f)/(nuMax+f)))
+		x += 2 * f / math.Pi * gf * pv
+	}
+	return x
+}
+
+// RLGCCausal returns per-unit-length parameters with the complex causal
+// roughness correction applied to the internal impedance: the series
+// branch becomes jωL_ext + (1+j)·(2Rs/w)·K_c(f), so r absorbs
+// Re{(1+j)·K_c} and l gains the internal contribution Im{(1+j)·K_c}/ω.
+func (ms Microstrip) RLGCCausal(f float64, kc complex128) (r, l, cc, g float64) {
+	if f <= 0 {
+		panic("txline: RLGCCausal needs f > 0")
+	}
+	z0 := ms.Z0()
+	ee := ms.EffectivePermittivity()
+	v := units.C0 / math.Sqrt(ee)
+	lext := z0 / v
+	cc = 1 / (z0 * v)
+	rs := units.SurfaceResistance(f, ms.Rho)
+	zint := complex(1, 1) * complex(2*rs/ms.Width, 0) * kc
+	r = real(zint)
+	w := units.AngularFreq(f)
+	l = lext + imag(zint)/w
+	g = w * cc * ms.TanDelta
+	return r, l, cc, g
+}
+
+// InsertionLossDBCausal is InsertionLossDB with the causal correction.
+func InsertionLossDBCausal(ms Microstrip, ell, f, z0 float64, c *CausalRoughness) float64 {
+	r, l, cc, g := ms.RLGCCausal(f, c.Factor(f))
+	s21 := LineABCD(f, ell, r, l, cc, g).S21(z0)
+	return -20 * math.Log10(cmplxAbs(s21))
+}
+
+func cmplxAbs(z complex128) float64 { return math.Hypot(real(z), imag(z)) }

@@ -1,0 +1,97 @@
+package txline
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+)
+
+// SParams is one two-port sample. The line models here are reciprocal
+// and symmetric (S12 = S21, S22 = S11).
+type SParams struct {
+	F        float64 // Hz
+	S11, S21 complex128
+}
+
+// SweepSParams evaluates the two-port S-parameters of a length-ell
+// microstrip over a frequency list under a roughness model, referenced
+// to z0.
+func SweepSParams(ms Microstrip, ell, z0 float64, freqs []float64, kr RoughnessModel) []SParams {
+	out := make([]SParams, 0, len(freqs))
+	for _, f := range freqs {
+		r, l, c, g := ms.RLGC(f, kr(f))
+		m := LineABCD(f, ell, r, l, c, g)
+		out = append(out, SParams{F: f, S11: m.S11(z0), S21: m.S21(z0)})
+	}
+	return out
+}
+
+// WriteTouchstone emits the sweep in Touchstone 1.x two-port format
+// (# HZ S RI R z0), the interchange format every SI tool reads. Sample
+// ordering follows the spec: S11 S21 S12 S22 per frequency row.
+func WriteTouchstone(w io.Writer, z0 float64, sweep []SParams) error {
+	if len(sweep) == 0 {
+		return fmt.Errorf("txline: empty S-parameter sweep")
+	}
+	if _, err := fmt.Fprintf(w, "! roughsim transmission-line model\n# HZ S RI R %g\n", z0); err != nil {
+		return err
+	}
+	prev := 0.0
+	for _, s := range sweep {
+		if s.F <= prev {
+			return fmt.Errorf("txline: touchstone frequencies must be strictly increasing (%g after %g)", s.F, prev)
+		}
+		prev = s.F
+		s12 := s.S21 // reciprocity
+		s22 := s.S11 // symmetry
+		if _, err := fmt.Fprintf(w, "%.10g %.10g %.10g %.10g %.10g %.10g %.10g %.10g %.10g\n",
+			s.F,
+			real(s.S11), imag(s.S11),
+			real(s.S21), imag(s.S21),
+			real(s12), imag(s12),
+			real(s22), imag(s22)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PassivityCheck returns the largest power gain Σ|S_i1|² over the sweep;
+// a passive network keeps it ≤ 1 (plus numerical slack).
+func PassivityCheck(sweep []SParams) float64 {
+	var worst float64
+	for _, s := range sweep {
+		p := cmplx.Abs(s.S11)*cmplx.Abs(s.S11) + cmplx.Abs(s.S21)*cmplx.Abs(s.S21)
+		if p > worst {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// GroupDelay estimates the S21 group delay −dφ/dω between consecutive
+// sweep samples (length len(sweep)−1), a causality smoke test: a
+// passive causal line has positive, slowly varying delay.
+func GroupDelay(sweep []SParams) []float64 {
+	if len(sweep) < 2 {
+		return nil
+	}
+	out := make([]float64, len(sweep)-1)
+	prevPhase := cmplx.Phase(sweep[0].S21)
+	for i := 1; i < len(sweep); i++ {
+		ph := cmplx.Phase(sweep[i].S21)
+		dph := ph - prevPhase
+		// Unwrap.
+		for dph > math.Pi {
+			dph -= 2 * math.Pi
+		}
+		for dph < -math.Pi {
+			dph += 2 * math.Pi
+		}
+		dw := 2 * math.Pi * (sweep[i].F - sweep[i-1].F)
+		out[i-1] = -dph / dw
+		prevPhase = ph
+	}
+	return out
+}

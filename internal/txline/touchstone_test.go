@@ -1,0 +1,85 @@
+package txline
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"roughsim/internal/units"
+)
+
+func sweepFreqs() []float64 {
+	var fs []float64
+	for fG := 1.0; fG <= 10; fG++ {
+		fs = append(fs, fG*units.GHz)
+	}
+	return fs
+}
+
+func TestSweepAndTouchstone(t *testing.T) {
+	ms := fr4Line()
+	sweep := SweepSParams(ms, 0.1, 50, sweepFreqs(), Smooth)
+	if len(sweep) != 10 {
+		t.Fatalf("sweep length %d", len(sweep))
+	}
+	var buf bytes.Buffer
+	if err := WriteTouchstone(&buf, 50, sweep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# HZ S RI R 50") {
+		t.Fatalf("missing option line:\n%s", out[:80])
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 2 header/comment lines + 10 data rows.
+	if len(lines) != 12 {
+		t.Fatalf("line count %d", len(lines))
+	}
+	if fields := strings.Fields(lines[2]); len(fields) != 9 {
+		t.Fatalf("data row has %d fields, want 9", len(fields))
+	}
+}
+
+func TestTouchstoneRejectsBadSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTouchstone(&buf, 50, nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	sweep := []SParams{{F: 2e9}, {F: 1e9}}
+	if err := WriteTouchstone(&buf, 50, sweep); err == nil {
+		t.Fatal("non-monotone frequencies accepted")
+	}
+}
+
+func TestSweepPassivity(t *testing.T) {
+	ms := fr4Line()
+	matK := func(f float64) float64 { return 1 + 0.5*f/(f+5e9) } // rising K
+	sweep := SweepSParams(ms, 0.3, 50, sweepFreqs(), matK)
+	if p := PassivityCheck(sweep); p > 1.0+1e-9 {
+		t.Fatalf("line is active: max power gain %g", p)
+	}
+}
+
+func TestGroupDelayPositiveAndNearTEM(t *testing.T) {
+	ms := fr4Line()
+	// Keep the per-sample phase step below π (delay·Δf < ½) so the
+	// unwrap in GroupDelay is unambiguous: 5 cm at 1 GHz spacing.
+	ell := 0.05
+	sweep := SweepSParams(ms, ell, 50, sweepFreqs(), Smooth)
+	gd := GroupDelay(sweep)
+	// Expected delay ≈ ell/v = ell·sqrt(ε_eff)/c.
+	want := ell / (units.C0 / sqrtEff(ms))
+	for i, d := range gd {
+		if d <= 0 {
+			t.Fatalf("negative group delay at segment %d: %g", i, d)
+		}
+		if d < 0.5*want || d > 2*want {
+			t.Fatalf("group delay %g far from TEM estimate %g", d, want)
+		}
+	}
+}
+
+func sqrtEff(ms Microstrip) float64 {
+	return math.Sqrt(ms.EffectivePermittivity())
+}

@@ -1,0 +1,134 @@
+// Package txline applies the roughness loss-enhancement factor K(f) to a
+// transmission-line model of a PCB interconnect — the application that
+// motivates the paper's introduction (insertion loss and signal
+// integrity prediction).
+//
+// The line is a microstrip described by the Hammerstad–Jensen closed
+// forms; its series resistance is the skin-effect value scaled by K(f)
+// from any roughness model (SWM, SPM2, HBM, or the empirical formula),
+// and the resulting RLGC cascade yields S-parameters and insertion loss.
+package txline
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"roughsim/internal/units"
+)
+
+// Microstrip is a surface trace over a reference plane.
+type Microstrip struct {
+	Width    float64 // trace width w (m)
+	Height   float64 // dielectric height h (m)
+	EpsR     float64 // substrate relative permittivity
+	TanDelta float64 // substrate loss tangent
+	Rho      float64 // conductor resistivity (Ω·m)
+}
+
+// EffectivePermittivity returns the quasi-static ε_eff of the microstrip
+// (Hammerstad–Jensen).
+func (ms Microstrip) EffectivePermittivity() float64 {
+	u := ms.Width / ms.Height
+	return (ms.EpsR+1)/2 + (ms.EpsR-1)/2/math.Sqrt(1+12/u)
+}
+
+// Z0 returns the quasi-static characteristic impedance (Ω).
+func (ms Microstrip) Z0() float64 {
+	u := ms.Width / ms.Height
+	ee := ms.EffectivePermittivity()
+	if u >= 1 {
+		return 120 * math.Pi / (math.Sqrt(ee) * (u + 1.393 + 0.667*math.Log(u+1.444)))
+	}
+	return 60 / math.Sqrt(ee) * math.Log(8/u+u/4)
+}
+
+// RLGC returns the per-unit-length parameters at frequency f with the
+// roughness factor kr applied to the series resistance (kr = 1 for a
+// smooth conductor).
+func (ms Microstrip) RLGC(f, kr float64) (r, l, c, g float64) {
+	if f <= 0 || kr < 1 {
+		panic(fmt.Sprintf("txline: RLGC needs f > 0 and kr ≥ 1 (got f=%g kr=%g)", f, kr))
+	}
+	z0 := ms.Z0()
+	ee := ms.EffectivePermittivity()
+	v := units.C0 / math.Sqrt(ee)
+	l = z0 / v
+	c = 1 / (z0 * v)
+	// Skin-effect resistance of trace + return path (the return plane
+	// contributes roughly an equal share at w ≈ few·h); both surfaces
+	// are roughened in the paper's scenario.
+	rs := units.SurfaceResistance(f, ms.Rho)
+	r = 2 * rs / ms.Width * kr
+	g = units.AngularFreq(f) * c * ms.TanDelta
+	return r, l, c, g
+}
+
+// ABCD is a 2×2 complex transmission (chain) matrix.
+type ABCD struct{ A, B, C, D complex128 }
+
+// Mul returns m·n (cascade).
+func (m ABCD) Mul(n ABCD) ABCD {
+	return ABCD{
+		A: m.A*n.A + m.B*n.C,
+		B: m.A*n.B + m.B*n.D,
+		C: m.C*n.A + m.D*n.C,
+		D: m.C*n.B + m.D*n.D,
+	}
+}
+
+// LineABCD returns the chain matrix of a uniform line of length ell with
+// per-unit-length RLGC values at frequency f.
+func LineABCD(f, ell, r, l, c, g float64) ABCD {
+	w := units.AngularFreq(f)
+	zs := complex(r, w*l)
+	yp := complex(g, w*c)
+	gamma := cmplx.Sqrt(zs * yp)
+	zc := cmplx.Sqrt(zs / yp)
+	gl := gamma * complex(ell, 0)
+	return ABCD{
+		A: cmplx.Cosh(gl),
+		B: zc * cmplx.Sinh(gl),
+		C: cmplx.Sinh(gl) / zc,
+		D: cmplx.Cosh(gl),
+	}
+}
+
+// S21 converts a chain matrix to the forward transmission coefficient in
+// a z0-referenced system.
+func (m ABCD) S21(z0 float64) complex128 {
+	z := complex(z0, 0)
+	den := m.A + m.B/z + m.C*z + m.D
+	return 2 / den
+}
+
+// S11 returns the input reflection coefficient in a z0 system.
+func (m ABCD) S11(z0 float64) complex128 {
+	z := complex(z0, 0)
+	den := m.A + m.B/z + m.C*z + m.D
+	return (m.A + m.B/z - m.C*z - m.D) / den
+}
+
+// RoughnessModel maps frequency to the loss enhancement factor K(f) ≥ 1.
+type RoughnessModel func(f float64) float64
+
+// Smooth is the K ≡ 1 reference model.
+func Smooth(float64) float64 { return 1 }
+
+// InsertionLossDB returns −20·log10|S21| of a length-ell microstrip at
+// frequency f under the given roughness model, referenced to z0.
+func InsertionLossDB(ms Microstrip, ell, f, z0 float64, kr RoughnessModel) float64 {
+	r, l, c, g := ms.RLGC(f, kr(f))
+	s21 := LineABCD(f, ell, r, l, c, g).S21(z0)
+	return -20 * math.Log10(cmplx.Abs(s21))
+}
+
+// AttenuationNpPerM returns the real part of the propagation constant
+// (Np/m) at f — the per-meter loss the paper's Rf ∝ √f discussion is
+// about.
+func AttenuationNpPerM(ms Microstrip, f float64, kr RoughnessModel) float64 {
+	r, l, c, g := ms.RLGC(f, kr(f))
+	w := units.AngularFreq(f)
+	gamma := cmplx.Sqrt(complex(r, w*l) * complex(g, w*c))
+	return real(gamma)
+}

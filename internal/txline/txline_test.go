@@ -1,0 +1,140 @@
+package txline
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"roughsim/internal/core"
+	"roughsim/internal/units"
+)
+
+// fr4Line is a representative 50Ω-ish PCB microstrip.
+func fr4Line() Microstrip {
+	return Microstrip{
+		Width:    300e-6,
+		Height:   170e-6,
+		EpsR:     4.1,
+		TanDelta: 0.02,
+		Rho:      units.CopperResistivity,
+	}
+}
+
+func TestEffectivePermittivityBounds(t *testing.T) {
+	ms := fr4Line()
+	ee := ms.EffectivePermittivity()
+	if ee <= 1 || ee >= ms.EpsR {
+		t.Fatalf("ε_eff = %g must lie between 1 and εr=%g", ee, ms.EpsR)
+	}
+}
+
+func TestZ0Reasonable(t *testing.T) {
+	z0 := fr4Line().Z0()
+	if z0 < 30 || z0 > 90 {
+		t.Fatalf("Z0 = %g Ω outside plausible microstrip range", z0)
+	}
+	// Wider trace ⇒ lower impedance.
+	wide := fr4Line()
+	wide.Width *= 2
+	if wide.Z0() >= z0 {
+		t.Fatalf("Z0 must fall with width: %g vs %g", wide.Z0(), z0)
+	}
+}
+
+func TestLosslessLineIsUnitary(t *testing.T) {
+	// R = G = 0: |S11|² + |S21|² = 1 at any frequency/length.
+	ms := fr4Line()
+	_, l, c, _ := ms.RLGC(1*units.GHz, 1)
+	m := LineABCD(1*units.GHz, 0.1, 0, l, c, 0)
+	s11 := m.S11(50)
+	s21 := m.S21(50)
+	sum := cmplx.Abs(s11)*cmplx.Abs(s11) + cmplx.Abs(s21)*cmplx.Abs(s21)
+	if math.Abs(sum-1) > 1e-10 {
+		t.Fatalf("lossless line not unitary: |S11|²+|S21|² = %g", sum)
+	}
+}
+
+func TestPassivity(t *testing.T) {
+	ms := fr4Line()
+	for _, fGHz := range []float64{0.1, 1, 5, 10, 20} {
+		il := InsertionLossDB(ms, 0.2, fGHz*units.GHz, 50, Smooth)
+		if il < 0 {
+			t.Fatalf("negative insertion loss (gain) at %g GHz: %g dB", fGHz, il)
+		}
+	}
+}
+
+func TestMatchedLineS21Magnitude(t *testing.T) {
+	// When referenced to its own impedance, |S21| = e^{−αℓ} exactly.
+	ms := fr4Line()
+	f := 5 * units.GHz
+	r, l, c, g := ms.RLGC(f, 1)
+	w := units.AngularFreq(f)
+	zc := cmplx.Sqrt(complex(r, w*l) / complex(g, w*c))
+	alpha := real(cmplx.Sqrt(complex(r, w*l) * complex(g, w*c)))
+	ell := 0.15
+	s21 := LineABCD(f, ell, r, l, c, g).S21(real(zc))
+	// Small mismatch from the imaginary part of Zc.
+	if d := math.Abs(cmplx.Abs(s21)-math.Exp(-alpha*ell)) / math.Exp(-alpha*ell); d > 0.02 {
+		t.Fatalf("matched |S21| = %g vs e^{−αℓ} = %g", cmplx.Abs(s21), math.Exp(-alpha*ell))
+	}
+}
+
+func TestRoughnessIncreasesLoss(t *testing.T) {
+	ms := fr4Line()
+	mat := core.PaperMaterial()
+	rough := func(f float64) float64 { return mat.EmpiricalAt(1e-6, f) }
+	for _, fGHz := range []float64{1, 5, 10} {
+		f := fGHz * units.GHz
+		smooth := InsertionLossDB(ms, 0.3, f, 50, Smooth)
+		withR := InsertionLossDB(ms, 0.3, f, 50, rough)
+		if withR <= smooth {
+			t.Fatalf("f=%g GHz: rough IL %g ≤ smooth IL %g", fGHz, withR, smooth)
+		}
+	}
+}
+
+func TestConductorAttenuationScalesRootF(t *testing.T) {
+	// With tanδ = 0 and smooth conductor, α ∝ √f in the skin-effect
+	// regime (the classical law the paper says roughness breaks).
+	ms := fr4Line()
+	ms.TanDelta = 0
+	a1 := AttenuationNpPerM(ms, 1*units.GHz, Smooth)
+	a4 := AttenuationNpPerM(ms, 4*units.GHz, Smooth)
+	if math.Abs(a4/a1-2) > 0.05 {
+		t.Fatalf("α(4GHz)/α(1GHz) = %g, want ≈ 2", a4/a1)
+	}
+	// And roughness breaks the law: with the empirical K the ratio
+	// exceeds 2.
+	mat := core.PaperMaterial()
+	rough := func(f float64) float64 { return mat.EmpiricalAt(2e-6, f) }
+	r1 := AttenuationNpPerM(ms, 1*units.GHz, rough)
+	r4 := AttenuationNpPerM(ms, 4*units.GHz, rough)
+	if r4/r1 <= a4/a1 {
+		t.Fatalf("roughness should steepen the α(f) slope: %g vs %g", r4/r1, a4/a1)
+	}
+}
+
+func TestCascadeAssociativity(t *testing.T) {
+	// Two half-length segments must equal one full segment.
+	ms := fr4Line()
+	f := 3 * units.GHz
+	r, l, c, g := ms.RLGC(f, 1.3)
+	full := LineABCD(f, 0.2, r, l, c, g)
+	half := LineABCD(f, 0.1, r, l, c, g)
+	two := half.Mul(half)
+	for _, pair := range [][2]complex128{{full.A, two.A}, {full.B, two.B}, {full.C, two.C}, {full.D, two.D}} {
+		if cmplx.Abs(pair[0]-pair[1]) > 1e-9*(1+cmplx.Abs(pair[0])) {
+			t.Fatalf("cascade mismatch: %v vs %v", pair[0], pair[1])
+		}
+	}
+}
+
+func TestRLGCPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for kr < 1")
+		}
+	}()
+	fr4Line().RLGC(1*units.GHz, 0.5)
+}

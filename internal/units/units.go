@@ -1,0 +1,84 @@
+// Package units collects the physical constants and unit helpers used
+// throughout roughsim.
+//
+// All internal computation is carried out in SI units (meters, seconds,
+// ohms). The helpers below exist so that configuration code can speak the
+// paper's natural units (micrometers, GHz, micro-ohm-centimeters) without
+// scattering conversion factors around the code base.
+package units
+
+import "math"
+
+// Physical constants (SI).
+const (
+	// Mu0 is the vacuum permeability in H/m (exact pre-2019 definition,
+	// which is what the microwave literature uses).
+	Mu0 = 4 * math.Pi * 1e-7
+	// C0 is the speed of light in vacuum in m/s.
+	C0 = 299792458.0
+)
+
+// Eps0 is the vacuum permittivity in F/m, derived from Mu0 and C0.
+var Eps0 = 1 / (Mu0 * C0 * C0)
+
+// Unit multipliers: multiply a value expressed in the named unit by the
+// constant to obtain SI.
+const (
+	Micrometer = 1e-6 // m
+	Nanometer  = 1e-9 // m
+	Millimeter = 1e-3 // m
+	GHz        = 1e9  // Hz
+	MHz        = 1e6  // Hz
+
+	// MicroOhmCm converts a resistivity in μΩ·cm to Ω·m.
+	MicroOhmCm = 1e-8
+)
+
+// CopperResistivity is the bulk resistivity of annealed copper in Ω·m,
+// matching the paper's 1.67 μΩ·cm.
+const CopperResistivity = 1.67 * MicroOhmCm
+
+// SkinDepth returns δ = sqrt(ρ/(π f μ)) in meters for a conductor of
+// resistivity rho (Ω·m) at frequency f (Hz) with permeability mu (H/m).
+// It panics if f or rho is not positive: a zero-frequency or
+// zero-resistivity skin depth is meaningless in this model.
+func SkinDepth(rho, f, mu float64) float64 {
+	if f <= 0 || rho <= 0 || mu <= 0 {
+		panic("units: SkinDepth requires positive rho, f, mu")
+	}
+	return math.Sqrt(rho / (math.Pi * f * mu))
+}
+
+// SkinDepthCopper returns the skin depth of copper (μ = μ0) at f Hz.
+func SkinDepthCopper(f float64) float64 {
+	return SkinDepth(CopperResistivity, f, Mu0)
+}
+
+// AngularFreq returns ω = 2πf.
+func AngularFreq(f float64) float64 { return 2 * math.Pi * f }
+
+// WavenumberDielectric returns the (real) wavenumber k₁ = ω·sqrt(με) of a
+// lossless dielectric with relative permittivity epsR at frequency f (Hz).
+func WavenumberDielectric(f, epsR float64) float64 {
+	return AngularFreq(f) * math.Sqrt(Mu0*Eps0*epsR)
+}
+
+// WavenumberConductor returns the complex wavenumber k₂ = (1+j)/δ inside a
+// good conductor of resistivity rho at frequency f.
+func WavenumberConductor(f, rho float64) complex128 {
+	d := SkinDepth(rho, f, Mu0)
+	return complex(1/d, 1/d)
+}
+
+// SurfaceResistance returns Rs = 1/(σδ) = ρ/δ (Ω/sq) of a thick conductor.
+func SurfaceResistance(f, rho float64) float64 {
+	return rho / SkinDepth(rho, f, Mu0)
+}
+
+// Beta returns the scalar-wave continuity ratio β = ε₁/ε₂ ≈ −jωε₁ρ of
+// eq. (6): the dielectric permittivity over the conductor's effective
+// (conduction-dominated) permittivity ε₂ ≈ −j/(ωρ).
+func Beta(f, epsR, rho float64) complex128 {
+	w := AngularFreq(f)
+	return complex(0, -w*Eps0*epsR*rho)
+}

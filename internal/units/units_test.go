@@ -1,0 +1,97 @@
+package units
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestEps0(t *testing.T) {
+	// ε0 should be ~8.854e-12 F/m.
+	if math.Abs(Eps0-8.8541878128e-12) > 1e-15 {
+		t.Fatalf("Eps0 = %g, want ~8.854e-12", Eps0)
+	}
+}
+
+func TestSkinDepthCopper(t *testing.T) {
+	// Copper at 1 GHz: δ ≈ 2.06 μm for ρ = 1.67 μΩ·cm.
+	d := SkinDepthCopper(1 * GHz)
+	want := 2.057e-6
+	if math.Abs(d-want)/want > 5e-3 {
+		t.Fatalf("skin depth at 1 GHz = %g m, want ≈ %g m", d, want)
+	}
+	// δ ∝ 1/sqrt(f).
+	d4 := SkinDepthCopper(4 * GHz)
+	if math.Abs(d4-d/2)/d > 1e-12 {
+		t.Fatalf("skin depth scaling: δ(4GHz)=%g, want δ(1GHz)/2=%g", d4, d/2)
+	}
+}
+
+func TestSkinDepthPanics(t *testing.T) {
+	for _, args := range [][3]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SkinDepth(%v) did not panic", args)
+				}
+			}()
+			SkinDepth(args[0], args[1], args[2])
+		}()
+	}
+}
+
+func TestWavenumberDielectric(t *testing.T) {
+	// In vacuum (εr=1) k = ω/c.
+	f := 5 * GHz
+	k := WavenumberDielectric(f, 1)
+	want := AngularFreq(f) / C0
+	if math.Abs(k-want)/want > 1e-12 {
+		t.Fatalf("k1 vacuum = %g, want %g", k, want)
+	}
+	// εr = 3.7 slows the wave by sqrt(3.7).
+	k37 := WavenumberDielectric(f, 3.7)
+	if math.Abs(k37-k*math.Sqrt(3.7))/k37 > 1e-12 {
+		t.Fatalf("k1(3.7) = %g, want %g", k37, k*math.Sqrt(3.7))
+	}
+}
+
+func TestWavenumberConductor(t *testing.T) {
+	f := 1 * GHz
+	k2 := WavenumberConductor(f, CopperResistivity)
+	d := SkinDepthCopper(f)
+	if math.Abs(real(k2)-1/d) > 1e-6/d || math.Abs(imag(k2)-1/d) > 1e-6/d {
+		t.Fatalf("k2 = %v, want (1+j)/δ with δ=%g", k2, d)
+	}
+	// |k2| = sqrt(2)/δ.
+	if math.Abs(cmplx.Abs(k2)-math.Sqrt2/d)/(1/d) > 1e-12 {
+		t.Fatalf("|k2| = %g, want %g", cmplx.Abs(k2), math.Sqrt2/d)
+	}
+}
+
+func TestBetaSmall(t *testing.T) {
+	// β = −jωε₁ρ must be tiny and purely negative-imaginary for copper
+	// under SiO2 at GHz frequencies.
+	b := Beta(5*GHz, 3.7, CopperResistivity)
+	if real(b) != 0 {
+		t.Fatalf("Re β = %g, want 0", real(b))
+	}
+	if imag(b) >= 0 {
+		t.Fatalf("Im β = %g, want negative", imag(b))
+	}
+	if cmplx.Abs(b) > 1e-4 {
+		t.Fatalf("|β| = %g, expected ≪ 1 for a good conductor", cmplx.Abs(b))
+	}
+}
+
+func TestSurfaceResistance(t *testing.T) {
+	// Rs grows like sqrt(f).
+	r1 := SurfaceResistance(1*GHz, CopperResistivity)
+	r4 := SurfaceResistance(4*GHz, CopperResistivity)
+	if math.Abs(r4-2*r1)/r1 > 1e-12 {
+		t.Fatalf("Rs scaling: Rs(4GHz)=%g want 2·Rs(1GHz)=%g", r4, 2*r1)
+	}
+	// Copper at 1 GHz: Rs ≈ 8.1 mΩ/sq.
+	if math.Abs(r1-8.12e-3)/8.12e-3 > 0.02 {
+		t.Fatalf("Rs(1GHz) = %g, want ≈ 8.12 mΩ", r1)
+	}
+}
