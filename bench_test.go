@@ -8,6 +8,7 @@
 package roughsim
 
 import (
+	"context"
 	"testing"
 
 	"roughsim/internal/cmplxmat"
@@ -208,7 +209,7 @@ func BenchmarkSSCMCollocation(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := sscm.Run(16, 2, eval, sscm.Options{}); err != nil {
+		if _, err := sscm.Run(context.Background(), 16, 2, eval, sscm.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,30 +7,38 @@
 //
 //	roughsim [-sigma 1.0] [-eta 1.0] [-cf gaussian|exp|measured]
 //	         [-eta2 0.53] [-fmin 1] [-fmax 9] [-steps 9] [-grid 16] [-dim 16]
+//	         [-timeout 0]
 //
-// Lengths are in micrometers, frequencies in GHz.
+// Lengths are in micrometers, frequencies in GHz. The sweep honors
+// Ctrl-C and the -timeout budget: cancellation stops the run promptly
+// between solves instead of abandoning a half-printed table.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"text/tabwriter"
+	"time"
 
 	"roughsim"
 )
 
 func main() {
 	var (
-		sigma = flag.Float64("sigma", 1.0, "RMS roughness σ (μm)")
-		eta   = flag.Float64("eta", 1.0, "correlation length η (μm)")
-		eta2  = flag.Float64("eta2", 0.53, "second correlation length for -cf measured (μm)")
-		cf    = flag.String("cf", "gaussian", "correlation function: gaussian|exp|measured")
-		fmin  = flag.Float64("fmin", 1, "start frequency (GHz)")
-		fmax  = flag.Float64("fmax", 9, "end frequency (GHz)")
-		steps = flag.Int("steps", 9, "number of frequency points")
-		grid  = flag.Int("grid", 16, "patch grid per side (paper: 40)")
-		dim   = flag.Int("dim", 16, "stochastic (KL) dimension")
+		sigma   = flag.Float64("sigma", 1.0, "RMS roughness σ (μm)")
+		eta     = flag.Float64("eta", 1.0, "correlation length η (μm)")
+		eta2    = flag.Float64("eta2", 0.53, "second correlation length for -cf measured (μm)")
+		cf      = flag.String("cf", "gaussian", "correlation function: gaussian|exp|measured")
+		fmin    = flag.Float64("fmin", 1, "start frequency (GHz)")
+		fmax    = flag.Float64("fmax", 9, "end frequency (GHz)")
+		steps   = flag.Int("steps", 9, "number of frequency points")
+		grid    = flag.Int("grid", 16, "patch grid per side (paper: 40)")
+		dim     = flag.Int("dim", 16, "stochastic (KL) dimension")
+		timeout = flag.Duration("timeout", 0, "total sweep budget (e.g. 90s); 0 means no limit")
 	)
 	flag.Parse()
 
@@ -57,26 +65,48 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("SWM roughness loss sweep: σ=%g μm, η=%g μm, CF=%s, grid %d², d=%d\n",
-		*sigma, *eta, *cf, *grid, *dim)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "f (GHz)\tδ (μm)\tSWM K\tSPM2 K\tempirical K")
-	for i := 0; i < *steps; i++ {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	freqs := make([]float64, *steps)
+	for i := range freqs {
 		fGHz := *fmin
 		if *steps > 1 {
 			fGHz += (*fmax - *fmin) * float64(i) / float64(*steps-1)
 		}
-		f := fGHz * 1e9
-		k, err := sim.MeanLossFactor(f)
-		if err != nil {
+		freqs[i] = fGHz * 1e9
+	}
+
+	start := time.Now()
+	ks, err := sim.SweepMeanLossFactor(ctx, freqs)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "%v (stopped after %v)\n", err, time.Since(start).Round(time.Millisecond))
+		} else {
 			fmt.Fprintln(os.Stderr, "roughsim:", err)
-			os.Exit(1)
 		}
+		os.Exit(1)
+	}
+
+	fmt.Printf("SWM roughness loss sweep: σ=%g μm, η=%g μm, CF=%s, grid %d², d=%d\n",
+		*sigma, *eta, *cf, *grid, *dim)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "f (GHz)\tδ (μm)\tSWM K\tSPM2 K\tempirical K")
+	for i, f := range freqs {
 		fmt.Fprintf(tw, "%.3g\t%.3f\t%.4f\t%.4f\t%.4f\n",
-			fGHz, stack.SkinDepth(f)*1e6, k, sim.SPM2LossFactor(f), sim.EmpiricalLossFactor(f))
+			f/1e9, stack.SkinDepth(f)*1e6, ks[i], sim.SPM2LossFactor(f), sim.EmpiricalLossFactor(f))
 	}
 	if err := tw.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "roughsim:", err)
 		os.Exit(1)
+	}
+	if st := sim.SolveStats(); st.Fallbacks > 0 {
+		fmt.Fprintf(os.Stderr, "roughsim: %d of %d solves needed the fallback chain (wins: %v)\n",
+			st.Fallbacks, st.Solves, st.StageWins)
 	}
 }

@@ -104,6 +104,18 @@ func Norm2(x []complex128) float64 {
 	return math.Sqrt(s)
 }
 
+// HasNonFinite reports whether any entry of x carries a NaN or Inf
+// component.
+func HasNonFinite(x []complex128) bool {
+	for _, v := range x {
+		re, im := real(v), imag(v)
+		if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+			return true
+		}
+	}
+	return false
+}
+
 // Dot returns the conjugated inner product ⟨x, y⟩ = Σ conj(x_i)·y_i.
 func Dot(x, y []complex128) complex128 {
 	if len(x) != len(y) {

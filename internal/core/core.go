@@ -8,14 +8,22 @@
 // transmitted flux) and the leading quadrature bias; the analytic
 // Ps = |T|²·L²/(2δ) is available through mom.FlatPabsAnalytic and is
 // verified against the numerical flat solve in the tests.
+//
+// Rough solves run through the resilient fallback chain of
+// mom.SolveResilient (GMRES → preconditioned GMRES → BiCGSTAB → dense
+// LU) with per-stage accounting aggregated on the Solver, and every
+// entry point takes a context for cancellation and timeouts.
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"roughsim/internal/mom"
+	"roughsim/internal/resilience"
 	"roughsim/internal/surface"
 	"roughsim/internal/units"
 )
@@ -45,6 +53,15 @@ func (m Material) Params(f float64) mom.Params {
 	}
 }
 
+// SolveStats aggregates the per-stage accounting of every resilient
+// solve a Solver has run.
+type SolveStats struct {
+	Solves        int            // completed resilient solves
+	Fallbacks     int            // solves not won by the first stage
+	StageWins     map[string]int // winning stage → count
+	StageFailures map[string]int // failed stage attempts → count
+}
+
 // Solver computes loss enhancement factors for surfaces over a fixed
 // patch discretization; flat-reference solutions are cached per
 // frequency. Solver is safe for concurrent use.
@@ -61,9 +78,21 @@ type Solver struct {
 	// of any surface solved.
 	ZSpan float64
 
+	// SolveTol is the accepted relative residual of the resilient solve
+	// chain (default 1e-8).
+	SolveTol float64
+	// Policy controls per-stage retries of the fallback chain.
+	Policy resilience.Policy
+	// Injector deterministically fails solver stages for testing; nil
+	// injects nothing.
+	Injector *resilience.Injector
+
+	key uint64 // running solve counter, the injector key
+
 	mu       sync.Mutex
 	flatPabs map[flatKey]float64
 	tables   map[float64]*mom.TableSet
+	stats    SolveStats
 }
 
 type flatKey struct {
@@ -72,24 +101,83 @@ type flatKey struct {
 }
 
 // NewSolver builds a Solver for an L-periodic patch with an M×M grid.
-func NewSolver(mat Material, L float64, M int, opt mom.Options) *Solver {
+func NewSolver(mat Material, L float64, M int, opt mom.Options) (*Solver, error) {
 	if L <= 0 || M < 2 {
-		panic("core: NewSolver needs L > 0, M ≥ 2")
+		return nil, resilience.Errorf(resilience.KindInvalidInput, "core.NewSolver",
+			"needs L > 0, M ≥ 2 (got L=%g, M=%d)", L, M)
 	}
 	return &Solver{Mat: mat, L: L, M: M, Opt: opt,
-		flatPabs: map[flatKey]float64{}, tables: map[float64]*mom.TableSet{}}
+		flatPabs: map[flatKey]float64{}, tables: map[float64]*mom.TableSet{}}, nil
 }
 
 // NewSolverTabulated builds a Solver that assembles through per-frequency
 // Green's-function tables; zspan must bound 2.2× the height range of the
 // surfaces it will solve.
-func NewSolverTabulated(mat Material, L float64, M int, zspan float64, opt mom.Options) *Solver {
-	s := NewSolver(mat, L, M, opt)
+func NewSolverTabulated(mat Material, L float64, M int, zspan float64, opt mom.Options) (*Solver, error) {
+	s, err := NewSolver(mat, L, M, opt)
+	if err != nil {
+		return nil, err
+	}
 	if zspan <= 0 {
-		panic("core: NewSolverTabulated needs zspan > 0")
+		return nil, resilience.Errorf(resilience.KindInvalidInput, "core.NewSolverTabulated",
+			"needs zspan > 0 (got %g)", zspan)
 	}
 	s.ZSpan = zspan
-	return s
+	return s, nil
+}
+
+// Stats returns a snapshot of the aggregated solve accounting.
+func (s *Solver) Stats() SolveStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.StageWins = make(map[string]int, len(s.stats.StageWins))
+	for k, v := range s.stats.StageWins {
+		out.StageWins[k] = v
+	}
+	out.StageFailures = make(map[string]int, len(s.stats.StageFailures))
+	for k, v := range s.stats.StageFailures {
+		out.StageFailures[k] = v
+	}
+	return out
+}
+
+// record folds one solve report into the aggregate accounting.
+func (s *Solver) record(rep *mom.SolveReport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stats.StageWins == nil {
+		s.stats.StageWins = map[string]int{}
+		s.stats.StageFailures = map[string]int{}
+	}
+	s.stats.Solves++
+	if rep.Winner != "" {
+		s.stats.StageWins[rep.Winner]++
+		if rep.Winner != mom.StageGMRES {
+			s.stats.Fallbacks++
+		}
+	}
+	for _, a := range rep.Attempts {
+		if a.Err != nil {
+			s.stats.StageFailures[a.Stage]++
+		}
+	}
+}
+
+// solve runs the resilient chain on one assembled system and folds its
+// accounting into the solver stats.
+func (s *Solver) solve(ctx context.Context, sys *mom.System) (*mom.Solution, error) {
+	sol, err := sys.SolveResilient(ctx, mom.SolveOptions{
+		Tol:      s.SolveTol,
+		Policy:   s.Policy,
+		Injector: s.Injector,
+		Key:      atomic.AddUint64(&s.key, 1) - 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.record(sol.Report)
+	return sol, nil
 }
 
 // tableFor returns (building on first use) the frequency's table set.
@@ -115,6 +203,11 @@ func (s *Solver) assemble(surf *surface.Surface, f float64) (*mom.System, error)
 // FlatPabs returns (computing and caching on first use) the numerically
 // solved flat-surface absorbed power at frequency f.
 func (s *Solver) FlatPabs(f float64) (float64, error) {
+	return s.FlatPabsCtx(context.Background(), f)
+}
+
+// FlatPabsCtx is FlatPabs honoring cancellation.
+func (s *Solver) FlatPabsCtx(ctx context.Context, f float64) (float64, error) {
 	s.mu.Lock()
 	if v, ok := s.flatPabs[flatKey{f, false}]; ok {
 		s.mu.Unlock()
@@ -125,7 +218,7 @@ func (s *Solver) FlatPabs(f float64) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: flat reference at f=%g: %w", f, err)
 	}
-	sol, err := sys.Solve()
+	sol, err := s.solve(ctx, sys)
 	if err != nil {
 		return 0, fmt.Errorf("core: flat reference at f=%g: %w", f, err)
 	}
@@ -152,8 +245,8 @@ func CheckResolution(surf *surface.Surface) (worstCurv float64, err error) {
 	// flat collocation model itself break down. The paper-resolution
 	// grids (Δ = η/8) stay below ~0.2 for every experiment in Sec. IV.
 	if worstCurv > 0.45 {
-		return worstCurv, fmt.Errorf(
-			"core: surface under-resolved: curvature self-term %.2f rivals the ½ jump term (refine the grid or band-limit the surface)", worstCurv)
+		return worstCurv, resilience.Errorf(resilience.KindInvalidInput, "core.CheckResolution",
+			"surface under-resolved: curvature self-term %.2f rivals the ½ jump term (refine the grid or band-limit the surface)", worstCurv)
 	}
 	return worstCurv, nil
 }
@@ -161,13 +254,24 @@ func CheckResolution(surf *surface.Surface) (worstCurv float64, err error) {
 // LossFactor returns K = Pr/Ps for one surface realization at f. The
 // surface must share the solver's L and M.
 func (s *Solver) LossFactor(surf *surface.Surface, f float64) (float64, error) {
+	return s.LossFactorCtx(context.Background(), surf, f)
+}
+
+// LossFactorCtx is LossFactor honoring cancellation and deadlines: the
+// context is checked before assembly and between the stages of the
+// fallback chain.
+func (s *Solver) LossFactorCtx(ctx context.Context, surf *surface.Surface, f float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if surf.L != s.L || surf.M != s.M {
-		return 0, fmt.Errorf("core: surface grid %gx%d does not match solver %gx%d", surf.L, surf.M, s.L, s.M)
+		return 0, resilience.Errorf(resilience.KindInvalidInput, "core.LossFactor",
+			"surface grid %gx%d does not match solver %gx%d", surf.L, surf.M, s.L, s.M)
 	}
 	if _, err := CheckResolution(surf); err != nil {
 		return 0, err
 	}
-	flat, err := s.FlatPabs(f)
+	flat, err := s.FlatPabsCtx(ctx, f)
 	if err != nil {
 		return 0, err
 	}
@@ -175,11 +279,29 @@ func (s *Solver) LossFactor(surf *surface.Surface, f float64) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: rough assembly at f=%g: %w", f, err)
 	}
-	sol, err := sys.Solve()
+	sol, err := s.solve(ctx, sys)
 	if err != nil {
 		return 0, fmt.Errorf("core: rough solve at f=%g: %w", f, err)
 	}
 	return sol.Pabs / flat, nil
+}
+
+// SweepLossFactor computes K(f) for one surface across a frequency list,
+// checking the context between frequencies (and inside every solve), so
+// a cancelled context stops the sweep promptly with ctx.Err().
+func (s *Solver) SweepLossFactor(ctx context.Context, surf *surface.Surface, freqs []float64) ([]float64, error) {
+	out := make([]float64, len(freqs))
+	for i, f := range freqs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		k, err := s.LossFactorCtx(ctx, surf, f)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at f=%g: %w", f, err)
+		}
+		out[i] = k
+	}
+	return out, nil
 }
 
 // FlatPabs2D is the profile (2D SWM) flat reference.
@@ -204,7 +326,8 @@ func (s *Solver) FlatPabs2D(f float64) (float64, error) {
 // using the 2D SWM formulation of Fig. 6.
 func (s *Solver) LossFactor2D(prof *surface.Profile, f float64) (float64, error) {
 	if prof.L != s.L || prof.M != s.M {
-		return 0, fmt.Errorf("core: profile grid does not match solver")
+		return 0, resilience.Errorf(resilience.KindInvalidInput, "core.LossFactor2D",
+			"profile grid does not match solver")
 	}
 	flat, err := s.FlatPabs2D(f)
 	if err != nil {
@@ -219,15 +342,16 @@ func (s *Solver) LossFactor2D(prof *surface.Profile, f float64) (float64, error)
 
 // Empirical evaluates the Morgan/Hammerstad formula (1):
 // Pr/Ps = 1 + (2/π)·atan(1.4·(σ/δ)²).
-func Empirical(sigma, delta float64) float64 {
-	if delta <= 0 {
-		panic("core: Empirical needs δ > 0")
+func Empirical(sigma, delta float64) (float64, error) {
+	if !(delta > 0) || math.IsNaN(sigma) {
+		return 0, resilience.Errorf(resilience.KindInvalidInput, "core.Empirical",
+			"needs δ > 0 and finite σ (got σ=%g, δ=%g)", sigma, delta)
 	}
 	r := sigma / delta
-	return 1 + 2/math.Pi*math.Atan(1.4*r*r)
+	return 1 + 2/math.Pi*math.Atan(1.4*r*r), nil
 }
 
 // EmpiricalAt evaluates formula (1) at frequency f for the material.
-func (m Material) EmpiricalAt(sigma, f float64) float64 {
+func (m Material) EmpiricalAt(sigma, f float64) (float64, error) {
 	return Empirical(sigma, m.SkinDepth(f))
 }

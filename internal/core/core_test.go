@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"roughsim/internal/mom"
+	"roughsim/internal/resilience"
 	"roughsim/internal/rng"
 	"roughsim/internal/surface"
 	"roughsim/internal/units"
@@ -29,21 +33,100 @@ func TestPaperMaterial(t *testing.T) {
 
 func TestEmpiricalFormula(t *testing.T) {
 	// Limits of eq. (1): K → 1 for σ ≪ δ, K → 2 for σ ≫ δ.
-	if k := Empirical(0.01*um, 10*um); math.Abs(k-1) > 1e-4 {
+	if k, _ := Empirical(0.01*um, 10*um); math.Abs(k-1) > 1e-4 {
 		t.Fatalf("smooth limit K = %g", k)
 	}
-	if k := Empirical(100*um, 0.1*um); math.Abs(k-2) > 1e-4 {
+	if k, _ := Empirical(100*um, 0.1*um); math.Abs(k-2) > 1e-4 {
 		t.Fatalf("rough limit K = %g, want → 2", k)
 	}
 	// At σ = δ: K = 1 + (2/π)·atan(1.4).
 	want := 1 + 2/math.Pi*math.Atan(1.4)
-	if k := Empirical(1*um, 1*um); math.Abs(k-want) > 1e-12 {
-		t.Fatalf("K(σ=δ) = %g, want %g", k, want)
+	if k, err := Empirical(1*um, 1*um); err != nil || math.Abs(k-want) > 1e-12 {
+		t.Fatalf("K(σ=δ) = %g (err %v), want %g", k, err, want)
+	}
+	// Out-of-domain inputs are returned errors, not panics.
+	if _, err := Empirical(1*um, 0); resilience.Classify(err) != resilience.KindInvalidInput {
+		t.Fatalf("expected invalid-input error for δ=0, got %v", err)
+	}
+	if _, err := Empirical(1*um, math.NaN()); err == nil {
+		t.Fatal("expected error for NaN δ")
+	}
+}
+
+func TestNewSolverRejectsBadInput(t *testing.T) {
+	if _, err := NewSolver(PaperMaterial(), 0, 8, mom.Options{}); resilience.Classify(err) != resilience.KindInvalidInput {
+		t.Fatalf("expected invalid-input error for L=0, got %v", err)
+	}
+	if _, err := NewSolver(PaperMaterial(), 5*um, 1, mom.Options{}); err == nil {
+		t.Fatal("expected error for M=1")
+	}
+	if _, err := NewSolverTabulated(PaperMaterial(), 5*um, 8, 0, mom.Options{}); resilience.Classify(err) != resilience.KindInvalidInput {
+		t.Fatal("expected invalid-input error for zspan=0")
+	}
+}
+
+func TestSweepCancelled(t *testing.T) {
+	s, err := NewSolver(PaperMaterial(), 5*um, 8, mom.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := []float64{1 * units.GHz, 2 * units.GHz, 3 * units.GHz}
+	// A pre-cancelled context stops the sweep before any solve.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := s.SweepLossFactor(ctx, surface.NewFlat(5*um, 8), freqs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled sweep did not stop promptly")
+	}
+	// An expired deadline is reported as DeadlineExceeded.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := s.SweepLossFactor(dctx, surface.NewFlat(5*um, 8), freqs); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestSolveStatsAccounting(t *testing.T) {
+	s, err := NewSolver(PaperMaterial(), 5*um, 8, mom.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the first chain stage to fail on every solve: the fallback
+	// must win and the accounting must record both.
+	s.Injector = resilience.NewInjector(resilience.FaultSpec{
+		Op: mom.StageGMRES, Fraction: 1, Kind: resilience.KindConvergence,
+	})
+	k, err := s.LossFactor(surface.NewFlat(5*um, 8), 5*units.GHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-1) > 1e-6 {
+		t.Fatalf("flat K = %g, want 1", k)
+	}
+	st := s.Stats()
+	if st.Solves < 2 { // flat reference + rough solve
+		t.Fatalf("stats solves = %d, want ≥ 2", st.Solves)
+	}
+	if st.Fallbacks != st.Solves {
+		t.Fatalf("every solve should have fallen back: %+v", st)
+	}
+	if st.StageFailures[mom.StageGMRES] != st.Solves {
+		t.Fatalf("GMRES failures = %d, want %d", st.StageFailures[mom.StageGMRES], st.Solves)
+	}
+	if st.StageWins[mom.StageGMRESPrecond] != st.Solves {
+		t.Fatalf("preconditioned-GMRES wins = %d, want %d (wins: %v)",
+			st.StageWins[mom.StageGMRESPrecond], st.Solves, st.StageWins)
 	}
 }
 
 func TestSolverRejectsMismatchedSurface(t *testing.T) {
-	s := NewSolver(PaperMaterial(), 5*um, 8, mom.Options{})
+	s, err := NewSolver(PaperMaterial(), 5*um, 8, mom.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.LossFactor(surface.NewFlat(5*um, 10), 1*units.GHz); err == nil {
 		t.Fatal("expected grid mismatch error")
 	}
@@ -84,8 +167,14 @@ func TestLossFactorTabulatedMatchesExact(t *testing.T) {
 	kl := surface.NewKL(c, L, M)
 	surf := kl.SampleTruncated(rng.New(9), 12)
 
-	exactSolver := NewSolver(PaperMaterial(), L, M, mom.Options{})
-	tabSolver := NewSolverTabulated(PaperMaterial(), L, M, 10*um, mom.Options{})
+	exactSolver, err := NewSolver(PaperMaterial(), L, M, mom.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabSolver, err := NewSolverTabulated(PaperMaterial(), L, M, 10*um, mom.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	ke, err := exactSolver.LossFactor(surf, f)
 	if err != nil {
@@ -104,7 +193,10 @@ func TestLossFactorTabulatedMatchesExact(t *testing.T) {
 }
 
 func TestFlatPabsCachedAndConcurrent(t *testing.T) {
-	s := NewSolver(PaperMaterial(), 5*um, 8, mom.Options{})
+	s, err := NewSolver(PaperMaterial(), 5*um, 8, mom.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := 3 * units.GHz
 	var wg sync.WaitGroup
 	vals := make([]float64, 8)
@@ -134,7 +226,10 @@ func TestFlatPabsCachedAndConcurrent(t *testing.T) {
 }
 
 func TestLossFactor2DFlatIsUnity(t *testing.T) {
-	s := NewSolver(PaperMaterial(), 5*um, 24, mom.Options{})
+	s, err := NewSolver(PaperMaterial(), 5*um, 24, mom.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	k, err := s.LossFactor2D(surface.NewFlatProfile(5*um, 24), 5*units.GHz)
 	if err != nil {
 		t.Fatal(err)

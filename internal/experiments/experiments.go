@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -201,7 +202,10 @@ func (cfg Config) stride(freqs []float64) []float64 {
 func meanLossSWM(cfg Config, c surface.Corr, eta float64, freqs []float64) ([]float64, error) {
 	mat := core.PaperMaterial()
 	L := cfg.LOverEta * eta
-	solver := core.NewSolverTabulated(mat, L, cfg.M, zspanFor(c.Sigma()), mom.Options{Workers: cfg.Workers})
+	solver, err := core.NewSolverTabulated(mat, L, cfg.M, zspanFor(c.Sigma()), mom.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
 	kl := surface.NewKL(c, L, cfg.M)
 	d := cfg.KLDim
 	if d > len(kl.Modes) {
@@ -212,7 +216,7 @@ func meanLossSWM(cfg Config, c surface.Corr, eta float64, freqs []float64) ([]fl
 		eval := func(xi []float64) (float64, error) {
 			return solver.LossFactor(kl.Synthesize(xi), f)
 		}
-		res, err := sscm.Run(d, 1, eval, sscm.Options{Workers: cfg.Workers})
+		res, err := sscm.Run(context.Background(), d, 1, eval, sscm.Options{Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: SSCM at f=%g: %w", f, err)
 		}
@@ -289,8 +293,12 @@ func Fig3(cfg Config) (*Result, error) {
 	mat := core.PaperMaterial()
 	empir := Series{Label: "Empirical"}
 	for _, fG := range freqs {
+		ke, err := mat.EmpiricalAt(1*um, fG*units.GHz)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Fig3 empirical at %g GHz: %w", fG, err)
+		}
 		empir.X = append(empir.X, fG)
-		empir.Y = append(empir.Y, mat.EmpiricalAt(1*um, fG*units.GHz))
+		empir.Y = append(empir.Y, ke)
 	}
 	res.Series = append(res.Series, empir)
 	for _, etaUM := range []float64{1, 2, 3} {
@@ -348,7 +356,10 @@ func Fig5(cfg Config) (*Result, error) {
 	L := 10 * um // tile sized so neighbouring bosses nearly touch ([5])
 	m := cfg.MFig5
 	mat := core.PaperMaterial()
-	solver := core.NewSolverTabulated(mat, L, m, 2.4*hgt, mom.Options{Workers: cfg.Workers})
+	solver, err := core.NewSolverTabulated(mat, L, m, 2.4*hgt, mom.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
 	surf := surface.SmoothSpheroid(L, m, hgt, baseR)
 
 	swm := Series{Label: "SWM"}
@@ -424,7 +435,10 @@ func Fig6(cfg Config) (*Result, error) {
 			d3 = len(kl3.Modes)
 		}
 		frac := kl3.CapturedVariance(d3)
-		solver := core.NewSolver(mat, L, cfg.M2D, mom.Options{Workers: cfg.Workers})
+		solver, err := core.NewSolver(mat, L, cfg.M2D, mom.Options{Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
 		kl1 := surface.NewKL1D(c, L, cfg.M2D)
 		d := kl1.TruncationForVariance(frac)
 		if d > len(kl1.Modes) {
@@ -435,7 +449,7 @@ func Fig6(cfg Config) (*Result, error) {
 			eval := func(xi []float64) (float64, error) {
 				return solver.LossFactor2D(kl1.Synthesize(xi), f)
 			}
-			r, err := sscm.Run(d, 1, eval, sscm.Options{Workers: cfg.Workers})
+			r, err := sscm.Run(context.Background(), d, 1, eval, sscm.Options{Workers: cfg.Workers})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: Fig6 2D SSCM: %w", err)
 			}
@@ -456,7 +470,10 @@ func Fig7(cfg Config) (*Result, error) {
 	c := surface.NewGaussianCorr(1*um, 1*um)
 	L := cfg.LOverEta * 1 * um
 	mat := core.PaperMaterial()
-	solver := core.NewSolverTabulated(mat, L, cfg.M, zspanFor(c.Sigma()), mom.Options{Workers: cfg.Workers})
+	solver, err := core.NewSolverTabulated(mat, L, cfg.M, zspanFor(c.Sigma()), mom.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
 	kl := surface.NewKL(c, L, cfg.M)
 	// Monte-Carlo draws excite every retained mode at up to ±3–4σ
 	// simultaneously, so the stochastic dimension must be resolution
@@ -469,7 +486,7 @@ func Fig7(cfg Config) (*Result, error) {
 	}
 
 	// Monte-Carlo reference over the same band-limited process.
-	mc, err := montecarlo.Run(d, cfg.MCSamples, eval, montecarlo.Options{Workers: cfg.Workers, Seed: cfg.Seed})
+	mc, err := montecarlo.Run(context.Background(), d, cfg.MCSamples, eval, montecarlo.Options{Workers: cfg.Workers, Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: Fig7 MC: %w", err)
 	}
@@ -496,7 +513,7 @@ func Fig7(cfg Config) (*Result, error) {
 
 	var ks []float64
 	for _, order := range []int{1, 2} {
-		r, err := sscm.Run(d, order, eval, sscm.Options{Workers: cfg.Workers})
+		r, err := sscm.Run(context.Background(), d, order, eval, sscm.Options{Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: Fig7 SSCM order %d: %w", order, err)
 		}

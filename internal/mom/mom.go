@@ -224,6 +224,9 @@ type Solution struct {
 	// (h²/2)·Σ Re{ψ*·u} (up to the constant ρ factor, which cancels in
 	// the Pr/Ps ratio).
 	Pabs float64
+	// Report carries the per-stage accounting when the solution came
+	// from SolveResilient; nil for the direct Solve/SolveGMRES paths.
+	Report *SolveReport
 }
 
 // Solve factors and solves the dense system.

@@ -1,0 +1,157 @@
+package mom
+
+import (
+	"context"
+
+	"roughsim/internal/cmplxmat"
+	"roughsim/internal/resilience"
+)
+
+// Stage names of the resilient solve chain, in fallback order. They are
+// also the op names the fault injector matches on.
+const (
+	StageGMRES        = "gmres"        // matrix-free restarted GMRES
+	StageGMRESPrecond = "gmres-jacobi" // restarted GMRES, Jacobi-preconditioned, tighter budget
+	StageBiCGSTAB     = "bicgstab"     // stabilized bi-conjugate gradients
+	StageDenseLU      = "lu"           // dense LU with partial pivoting
+)
+
+// SolveOptions configures System.SolveResilient.
+type SolveOptions struct {
+	// Tol is the accepted relative residual of the verified solution
+	// (default 1e-8). Every stage's candidate is verified against the
+	// original (unpreconditioned) system before being accepted.
+	Tol float64
+	// Policy controls per-stage retries.
+	Policy resilience.Policy
+	// Injector, when set, deterministically fails stages (by stage name
+	// and Key) for testing the fallback path.
+	Injector *resilience.Injector
+	// Key identifies this solve to the fault injector (e.g. a sample
+	// index).
+	Key uint64
+}
+
+// SolveReport is the per-stage accounting of one resilient solve.
+type SolveReport struct {
+	resilience.Report
+	// RelRes is the independently verified relative residual of the
+	// winning stage's solution.
+	RelRes float64
+}
+
+// SolveResilient solves the system through the fallback chain
+// GMRES → Jacobi-preconditioned GMRES → BiCGSTAB → dense LU, verifying
+// the true residual (and finiteness) of every stage's candidate before
+// accepting it, and recording per-stage accounting on the returned
+// Solution. Cancellation is honored between stages.
+func (sys *System) SolveResilient(ctx context.Context, opt SolveOptions) (*Solution, error) {
+	n2 := 2 * sys.N
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	mv := func(y, x []complex128) {
+		copy(y, sys.Matrix.MulVec(x))
+	}
+
+	var x []complex128
+	report := &SolveReport{}
+
+	// verify accepts a candidate only if it is finite and its true
+	// residual against the original system is within 10× the target —
+	// the same drift guard GMRES applies internally.
+	verify := func(cand []complex128) error {
+		if cmplxmat.HasNonFinite(cand) {
+			return resilience.Errorf(resilience.KindNumerical, "mom.verify",
+				"non-finite entries in candidate solution")
+		}
+		r := make([]complex128, n2)
+		mv(r, cand)
+		for i := range r {
+			r[i] = sys.RHS[i] - r[i]
+		}
+		bnorm := cmplxmat.Norm2(sys.RHS)
+		rr := 0.0
+		if bnorm > 0 {
+			rr = cmplxmat.Norm2(r) / bnorm
+		}
+		if rr > 10*tol {
+			return resilience.Errorf(resilience.KindConvergence, "mom.verify",
+				"verified residual %.3e exceeds %.3e", rr, 10*tol)
+		}
+		x = cand
+		report.RelRes = rr
+		return nil
+	}
+
+	// Jacobi (diagonal) left preconditioner for the second GMRES stage:
+	// solve D⁻¹A·x = D⁻¹b. The MoM diagonal is dominated by the ½ jump
+	// terms plus the singular self-integrals, so D⁻¹ rebalances the two
+	// block rows when β is small.
+	precond := func() (cmplxmat.MatVec, []complex128) {
+		dinv := make([]complex128, n2)
+		for i := 0; i < n2; i++ {
+			d := sys.Matrix.At(i, i)
+			if d == 0 {
+				d = 1
+			}
+			dinv[i] = 1 / d
+		}
+		pmv := func(y, xx []complex128) {
+			mv(y, xx)
+			for i := range y {
+				y[i] *= dinv[i]
+			}
+		}
+		pb := make([]complex128, n2)
+		for i := range pb {
+			pb[i] = sys.RHS[i] * dinv[i]
+		}
+		return pmv, pb
+	}
+
+	stages := []resilience.Stage{
+		{Name: StageGMRES, Run: func(context.Context) error {
+			c, _, err := cmplxmat.GMRES(n2, mv, sys.RHS, nil,
+				cmplxmat.IterOpts{Tol: tol, Restart: 60})
+			if err != nil {
+				return err
+			}
+			return verify(c)
+		}},
+		{Name: StageGMRESPrecond, Run: func(context.Context) error {
+			pmv, pb := precond()
+			c, _, err := cmplxmat.GMRES(n2, pmv, pb, nil,
+				cmplxmat.IterOpts{Tol: tol / 10, Restart: 120, MaxIter: 30 * n2})
+			if err != nil {
+				return err
+			}
+			return verify(c)
+		}},
+		{Name: StageBiCGSTAB, Run: func(context.Context) error {
+			c, _, err := cmplxmat.BiCGSTAB(n2, mv, sys.RHS, nil,
+				cmplxmat.IterOpts{Tol: tol, MaxIter: 30 * n2})
+			if err != nil {
+				return err
+			}
+			return verify(c)
+		}},
+		{Name: StageDenseLU, Run: func(context.Context) error {
+			c, err := cmplxmat.SolveDense(sys.Matrix, sys.RHS)
+			if err != nil {
+				return err
+			}
+			return verify(c)
+		}},
+	}
+
+	rep, err := opt.Policy.Execute(ctx, "mom.solve", opt.Injector, opt.Key, stages)
+	report.Report = rep
+	if err != nil {
+		return nil, err
+	}
+	sol := sys.solutionFrom(x)
+	sol.Report = report
+	return sol, nil
+}

@@ -1,0 +1,106 @@
+package mom
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"roughsim/internal/resilience"
+	"roughsim/internal/rng"
+	"roughsim/internal/surface"
+	"roughsim/internal/units"
+)
+
+func solveTestSystem() *System {
+	c := surface.NewGaussianCorr(1*um, 1*um)
+	kl := surface.NewKL(c, 5*um, 8)
+	s := kl.SampleTruncated(rng.New(2), 8)
+	return Assemble(s, paramsAt(5*units.GHz), Options{})
+}
+
+func relDiff(a, b []complex128) float64 {
+	var num, den float64
+	for i := range a {
+		num += cmplx.Abs(a[i] - b[i]) * cmplx.Abs(a[i]-b[i])
+		den += cmplx.Abs(b[i]) * cmplx.Abs(b[i])
+	}
+	return math.Sqrt(num / den)
+}
+
+func TestSolveResilientDefaultWinsGMRES(t *testing.T) {
+	sys := solveTestSystem()
+	sol, err := sys.SolveResilient(context.Background(), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Report == nil || sol.Report.Winner != StageGMRES {
+		t.Fatalf("expected the matrix-free GMRES stage to win, report: %+v", sol.Report)
+	}
+	if sol.Report.RelRes > 1e-7 {
+		t.Fatalf("verified residual %g too large", sol.Report.RelRes)
+	}
+}
+
+func TestSolveResilientFallsBackAndMatchesDense(t *testing.T) {
+	sys := solveTestSystem()
+	inj := resilience.NewInjector(resilience.FaultSpec{
+		Op: StageGMRES, Fraction: 1, Kind: resilience.KindConvergence,
+	})
+	sol, err := sys.SolveResilient(context.Background(), SolveOptions{Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sol.Report
+	if rep.Winner == StageGMRES || rep.Winner == "" {
+		t.Fatalf("expected a fallback stage to win, got %q", rep.Winner)
+	}
+	if len(rep.Attempts) < 2 || !rep.Attempts[0].Injected || rep.Attempts[0].Kind != resilience.KindConvergence {
+		t.Fatalf("first attempt should be the injected GMRES failure: %+v", rep.Attempts)
+	}
+	if rep.RelRes > 1e-6 {
+		t.Fatalf("fallback result not verified: relres %g", rep.RelRes)
+	}
+	// The fallback solution must agree with the direct dense LU solve.
+	ref, err := sys.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relDiff(sol.Psi, ref.Psi); d > 1e-6 {
+		t.Fatalf("fallback ψ differs from dense LU by %g", d)
+	}
+	if d := relDiff(sol.U, ref.U); d > 1e-6 {
+		t.Fatalf("fallback u differs from dense LU by %g", d)
+	}
+}
+
+func TestSolveResilientAllStagesFail(t *testing.T) {
+	sys := solveTestSystem()
+	inj := resilience.NewInjector(
+		resilience.FaultSpec{Op: StageGMRES, Fraction: 1, Kind: resilience.KindConvergence},
+		resilience.FaultSpec{Op: StageGMRESPrecond, Fraction: 1, Kind: resilience.KindConvergence},
+		resilience.FaultSpec{Op: StageBiCGSTAB, Fraction: 1, Kind: resilience.KindConvergence},
+		resilience.FaultSpec{Op: StageDenseLU, Fraction: 1, Kind: resilience.KindSingular},
+	)
+	_, err := sys.SolveResilient(context.Background(), SolveOptions{Injector: inj})
+	if err == nil {
+		t.Fatal("expected error when every chain stage is failed")
+	}
+	var re *resilience.Error
+	if !errors.As(err, &re) || re.Op != "mom.solve" {
+		t.Fatalf("expected a classified mom.solve error, got %v", err)
+	}
+	if resilience.Classify(err) != resilience.KindSingular {
+		t.Fatalf("expected the last failure's kind, got %v", resilience.Classify(err))
+	}
+}
+
+func TestSolveResilientCancelled(t *testing.T) {
+	sys := solveTestSystem()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.SolveResilient(ctx, SolveOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}

@@ -1,15 +1,22 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"math"
+	"strings"
+	"sync/atomic"
 	"testing"
+
+	"roughsim/internal/resilience"
 )
+
+func bg() context.Context { return context.Background() }
 
 func TestMeanOfLinearFunction(t *testing.T) {
 	// E[1 + 0.5ξ₀ − 0.2ξ₁] = 1; sd = sqrt(0.25+0.04).
 	f := func(xi []float64) (float64, error) { return 1 + 0.5*xi[0] - 0.2*xi[1], nil }
-	res, err := Run(2, 20000, f, Options{Seed: 42})
+	res, err := Run(bg(), 2, 20000, f, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,11 +32,11 @@ func TestMeanOfLinearFunction(t *testing.T) {
 
 func TestDeterministicGivenSeed(t *testing.T) {
 	f := func(xi []float64) (float64, error) { return xi[0] * xi[0], nil }
-	a, err := Run(1, 100, f, Options{Seed: 7, Workers: 4})
+	a, err := Run(bg(), 1, 100, f, Options{Seed: 7, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(1, 100, f, Options{Seed: 7, Workers: 1})
+	b, err := Run(bg(), 1, 100, f, Options{Seed: 7, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,26 +50,179 @@ func TestDeterministicGivenSeed(t *testing.T) {
 func TestErrorPropagates(t *testing.T) {
 	boom := errors.New("boom")
 	f := func(xi []float64) (float64, error) { return 0, boom }
-	if _, err := Run(1, 10, f, Options{}); !errors.Is(err, boom) {
+	if _, err := Run(bg(), 1, 10, f, Options{}); !errors.Is(err, boom) {
 		t.Fatalf("expected wrapped evaluator error, got %v", err)
+	}
+}
+
+func TestWorkerPoolBounded(t *testing.T) {
+	// The driver must run a fixed pool of opt.Workers goroutines, not one
+	// goroutine per sample: the observed evaluator concurrency can never
+	// exceed the pool size.
+	const workers = 3
+	var inFlight, peak int64
+	f := func(xi []float64) (float64, error) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+				break
+			}
+		}
+		s := 0.0
+		for i := 0; i < 2000; i++ { // keep the sample busy long enough to overlap
+			s += float64(i) * xi[0]
+		}
+		atomic.AddInt64(&inFlight, -1)
+		return s, nil
+	}
+	if _, err := Run(bg(), 1, 500, f, Options{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt64(&peak); p > workers {
+		t.Fatalf("observed %d concurrent evaluations, pool is %d", p, workers)
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen int64
+	f := func(xi []float64) (float64, error) {
+		if atomic.AddInt64(&seen, 1) == 3 {
+			cancel()
+		}
+		return xi[0], nil
+	}
+	_, err := Run(ctx, 1, 100000, f, Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if n := atomic.LoadInt64(&seen); n >= 100000 {
+		t.Fatalf("cancellation did not stop the run early (evaluated %d)", n)
+	}
+}
+
+func TestPanicRecoveredIntoError(t *testing.T) {
+	f := func(xi []float64) (float64, error) {
+		if xi[0] > -100 { // always
+			panic("solver exploded")
+		}
+		return 0, nil
+	}
+	_, err := Run(bg(), 1, 4, f, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("expected error from panicking evaluator")
+	}
+	if resilience.Classify(err) != resilience.KindPanic {
+		t.Fatalf("expected panic classification, got %v: %v", resilience.Classify(err), err)
+	}
+	if !strings.Contains(err.Error(), "solver exploded") || !strings.Contains(err.Error(), "goroutine") {
+		t.Fatalf("expected recovered panic with stack, got: %v", err)
+	}
+}
+
+// TestPartialResultAccounting is the acceptance scenario of the
+// resilience layer: fault injection fails ~10% of 200 samples (classified
+// as convergence failures) and panics one worker; the run must complete,
+// return a partial result with exact per-cause counts, and its mean must
+// match the fault-free run within the reported standard error.
+func TestPartialResultAccounting(t *testing.T) {
+	const n = 200
+	eval := func(xi []float64) (float64, error) {
+		return 2 + 0.05*xi[0] + 0.03*xi[1]*xi[1], nil
+	}
+	inj := resilience.NewInjector(
+		resilience.FaultSpec{Op: FaultOpSample, Keys: []uint64{7}, Panic: true},
+		resilience.FaultSpec{Op: FaultOpSample, Fraction: 0.1, Kind: resilience.KindConvergence},
+	)
+	// Expected failure set, computed independently of scheduling.
+	wantKinds := map[resilience.Kind]int{}
+	wantFailed := 0
+	for i := 0; i < n; i++ {
+		if f := inj.Fault(FaultOpSample, uint64(i)); f != nil {
+			wantFailed++
+			if f.Panic {
+				wantKinds[resilience.KindPanic]++
+			} else {
+				wantKinds[f.Kind]++
+			}
+		}
+	}
+	if wantKinds[resilience.KindPanic] != 1 {
+		t.Fatalf("test setup: want exactly 1 panic, got %d", wantKinds[resilience.KindPanic])
+	}
+	if c := wantKinds[resilience.KindConvergence]; c < 10 || c > 35 {
+		t.Fatalf("test setup: injected convergence failures = %d, want ≈ 20", c)
+	}
+
+	free, err := Run(bg(), 2, n, eval, Options{Seed: 11, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := Run(bg(), 2, n, eval, Options{Seed: 11, Workers: 4, Injector: inj, MaxFailFrac: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if part.Requested != n || part.Failed() != wantFailed || len(part.Samples) != n-wantFailed {
+		t.Fatalf("partial accounting: requested %d, failed %d (want %d), samples %d",
+			part.Requested, part.Failed(), wantFailed, len(part.Samples))
+	}
+	if len(part.FailureCounts) != len(wantKinds) {
+		t.Fatalf("failure kinds %v, want %v", part.FailureCounts, wantKinds)
+	}
+	for k, c := range wantKinds {
+		if part.FailureCounts[k] != c {
+			t.Fatalf("failure count for %v = %d, want %d (all: %v)", k, part.FailureCounts[k], c, wantKinds)
+		}
+	}
+	// Failures are reported in index order with their causes.
+	for i := 1; i < len(part.Failures); i++ {
+		if part.Failures[i].Index <= part.Failures[i-1].Index {
+			t.Fatal("failures not in index order")
+		}
+	}
+	if math.Abs(part.Mean-free.Mean) > part.StdErr {
+		t.Fatalf("partial mean %g vs fault-free %g differs by more than the reported stderr %g",
+			part.Mean, free.Mean, part.StdErr)
+	}
+}
+
+func TestFailureBudgetExceeded(t *testing.T) {
+	inj := resilience.NewInjector(resilience.FaultSpec{
+		Op: FaultOpSample, Fraction: 0.5, Kind: resilience.KindConvergence,
+	})
+	eval := func(xi []float64) (float64, error) { return 1, nil }
+	_, err := Run(bg(), 1, 100, eval, Options{Injector: inj, MaxFailFrac: 0.1})
+	if err == nil {
+		t.Fatal("expected failure-budget error")
+	}
+	if resilience.Classify(err) != resilience.KindConvergence {
+		t.Fatalf("budget error should carry the first failure's kind, got %v", err)
 	}
 }
 
 func TestSamplesForTolerance(t *testing.T) {
 	// sd = 0.07, tol = 0.001 ⇒ 4900 samples: the paper's "5000 samples
 	// for ~1% convergence" regime.
-	n := SamplesForTolerance(0.07, 0.001)
+	n, err := SamplesForTolerance(0.07, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n < 4800 || n > 5000 {
 		t.Fatalf("n = %d, want ≈ 4900", n)
+	}
+	if _, err := SamplesForTolerance(0.07, 0); resilience.Classify(err) != resilience.KindInvalidInput {
+		t.Fatalf("expected invalid-input error for tol=0, got %v", err)
 	}
 }
 
 func TestRejectsBadArgs(t *testing.T) {
 	f := func(xi []float64) (float64, error) { return 0, nil }
-	if _, err := Run(0, 10, f, Options{}); err == nil {
+	if _, err := Run(bg(), 0, 10, f, Options{}); err == nil {
 		t.Fatal("expected error for d=0")
 	}
-	if _, err := Run(1, 0, f, Options{}); err == nil {
+	if _, err := Run(bg(), 1, 0, f, Options{}); err == nil {
 		t.Fatal("expected error for n=0")
 	}
 }

@@ -1,0 +1,206 @@
+// Package resilience is the execution-robustness layer shared by the
+// solver and the stochastic drivers: a typed classification of the
+// failure modes a long stochastic sweep meets in practice (iterative-
+// solver non-convergence, singular assemblies, invalid input, NaN/Inf
+// contamination, worker panics, cancellation), a configurable
+// retry-with-fallback policy for running a chain of solver stages, and
+// a deterministic fault-injection hook so every recovery path can be
+// exercised in tests without depending on numerically fragile inputs.
+//
+// Production surface-integral codes treat iterative breakdown as an
+// expected event to recover from, not a fatal error; this package gives
+// the rest of the repository one vocabulary for doing the same.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"roughsim/internal/cmplxmat"
+)
+
+// Kind classifies a failure by its cause.
+type Kind int
+
+const (
+	// KindUnknown is an unclassified failure.
+	KindUnknown Kind = iota
+	// KindConvergence: an iterative solver exhausted its budget or a
+	// verified residual stayed above tolerance.
+	KindConvergence
+	// KindSingular: a factorization met a singular (to working
+	// precision) matrix.
+	KindSingular
+	// KindInvalidInput: the caller supplied out-of-domain arguments.
+	KindInvalidInput
+	// KindNumerical: NaN or Inf contaminated a result.
+	KindNumerical
+	// KindPanic: a worker panicked and the panic was recovered into an
+	// error.
+	KindPanic
+	// KindCanceled: the context was cancelled or its deadline expired.
+	KindCanceled
+)
+
+// String returns the short accounting label of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindConvergence:
+		return "convergence"
+	case KindSingular:
+		return "singular"
+	case KindInvalidInput:
+		return "invalid-input"
+	case KindNumerical:
+		return "numerical"
+	case KindPanic:
+		return "panic"
+	case KindCanceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// Error is a classified failure. It wraps the underlying cause so that
+// errors.Is / errors.As keep working through the classification.
+type Error struct {
+	Kind Kind
+	Op   string // the operation that failed, e.g. "mom.solve"
+	Err  error  // underlying cause (may be nil)
+}
+
+// New wraps err with a classification. err may be nil.
+func New(kind Kind, op string, err error) *Error {
+	return &Error{Kind: kind, Op: op, Err: err}
+}
+
+// Errorf builds a classified error from a format string.
+func Errorf(kind Kind, op, format string, args ...any) *Error {
+	return &Error{Kind: kind, Op: op, Err: fmt.Errorf(format, args...)}
+}
+
+func (e *Error) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("%s: %s", e.Op, e.Kind)
+	}
+	return fmt.Sprintf("%s: %s: %v", e.Op, e.Kind, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Classify walks the error chain and returns the failure kind:
+// an embedded *Error's kind, context cancellation, or the known solver
+// sentinels (cmplxmat.ErrNoConvergence, cmplxmat.ErrSingular).
+func Classify(err error) Kind {
+	if err == nil {
+		return KindUnknown
+	}
+	var re *Error
+	if errors.As(err, &re) {
+		return re.Kind
+	}
+	var inj *InjectedFault
+	if errors.As(err, &inj) {
+		if inj.Panic {
+			return KindPanic
+		}
+		return inj.Kind
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return KindCanceled
+	}
+	if errors.Is(err, cmplxmat.ErrNoConvergence) {
+		return KindConvergence
+	}
+	if errors.Is(err, cmplxmat.ErrSingular) {
+		return KindSingular
+	}
+	return KindUnknown
+}
+
+// Stage is one step of a fallback chain.
+type Stage struct {
+	Name string
+	Run  func(ctx context.Context) error
+}
+
+// Attempt records one stage execution (or injected failure).
+type Attempt struct {
+	Stage    string
+	Kind     Kind  // classification when Err != nil
+	Err      error // nil on success
+	Injected bool  // the failure came from the fault injector
+}
+
+// Report is the per-stage accounting of one chain execution.
+type Report struct {
+	Attempts []Attempt
+	Winner   string // name of the stage that succeeded; "" if none
+}
+
+// Failed returns the number of failed attempts.
+func (r *Report) Failed() int {
+	n := len(r.Attempts)
+	if r.Winner != "" {
+		n--
+	}
+	return n
+}
+
+// Policy configures how a fallback chain is executed.
+type Policy struct {
+	// Retries is the number of extra attempts per stage before falling
+	// through to the next one. Default 0: each stage runs once.
+	Retries int
+	// RetryOn reports whether a failure kind is worth retrying; nil
+	// retries convergence and numerical failures only (retrying an
+	// invalid input or a singular matrix cannot help).
+	RetryOn func(Kind) bool
+}
+
+func (p Policy) retryable(k Kind) bool {
+	if p.RetryOn != nil {
+		return p.RetryOn(k)
+	}
+	return k == KindConvergence || k == KindNumerical
+}
+
+// Execute runs the stages in order until one succeeds, consulting the
+// injector (which may be nil) before each attempt. The returned Report
+// records every attempt; on total failure the returned error carries the
+// classification of the last attempt and wraps its cause. Cancellation
+// is checked between attempts and returned as ctx.Err().
+func (p Policy) Execute(ctx context.Context, op string, inj *Injector, key uint64, stages []Stage) (Report, error) {
+	var rep Report
+	var lastErr error
+	for _, st := range stages {
+		for attempt := 0; attempt <= p.Retries; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return rep, err
+			}
+			var err error
+			injected := false
+			if f := inj.Fault(st.Name, key); f != nil {
+				err = New(f.Kind, op+"."+st.Name, f)
+				injected = true
+			} else {
+				err = st.Run(ctx)
+			}
+			if err == nil {
+				rep.Attempts = append(rep.Attempts, Attempt{Stage: st.Name})
+				rep.Winner = st.Name
+				return rep, nil
+			}
+			kind := Classify(err)
+			rep.Attempts = append(rep.Attempts, Attempt{Stage: st.Name, Kind: kind, Err: err, Injected: injected})
+			lastErr = err
+			if !p.retryable(kind) {
+				break
+			}
+		}
+	}
+	return rep, New(Classify(lastErr), op,
+		fmt.Errorf("all %d fallback stages failed: %w", len(stages), lastErr))
+}

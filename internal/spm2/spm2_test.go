@@ -109,7 +109,10 @@ func TestSWMConvergesToSPM2Kernel(t *testing.T) {
 	// (n=1) and 3.4% (n=2).
 	L := 7.5 * um
 	M := 24
-	solver := core.NewSolver(mat, L, M, mom.Options{})
+	solver, err := core.NewSolver(mat, L, M, mom.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := 0.25 * um // small vs δ ≈ 0.92 μm at 5 GHz
 
 	for _, n := range []int{1, 2} {

@@ -14,11 +14,14 @@
 package sscm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"roughsim/internal/quadrature"
+	"roughsim/internal/resilience"
 	"roughsim/internal/rng"
 	"roughsim/internal/specfun"
 )
@@ -137,34 +140,61 @@ type Options struct {
 // Run builds the order-p PCE of the evaluator over d KL coordinates,
 // using the level-p Smolyak Gauss–Hermite grid (order 1 ⇒ the paper's
 // "1st-SSCM", 2 ⇒ "2nd-SSCM").
-func Run(d, order int, eval Evaluator, opt Options) (*Result, error) {
+//
+// Nodes are evaluated by a fixed pool of opt.Workers goroutines pulling
+// from a shared channel; worker panics are recovered into classified
+// errors, and a cancelled ctx stops the run promptly with ctx.Err().
+// Unlike Monte-Carlo, the quadrature weights leave no room for partial
+// results: the projection needs every node, so any node failure fails
+// the run (with the node's classification).
+func Run(ctx context.Context, d, order int, eval Evaluator, opt Options) (*Result, error) {
 	if d <= 0 || order < 0 {
-		return nil, fmt.Errorf("sscm: invalid d=%d order=%d", d, order)
+		return nil, resilience.Errorf(resilience.KindInvalidInput, "sscm.Run",
+			"invalid d=%d order=%d", d, order)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	grid := quadrature.SmolyakHermite(d, order)
+	if workers > grid.Len() {
+		workers = grid.Len()
+	}
 
-	// Evaluate the solver at every collocation node in parallel.
+	// Evaluate the solver at every collocation node with a bounded pool.
 	vals := make([]float64, grid.Len())
 	errs := make([]error, grid.Len())
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range grid.Points {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			vals[i], errs[i] = eval(grid.Points[i].X)
-		}(i)
+			for i := range idx {
+				vals[i], errs[i] = evalNode(eval, grid.Points[i].X, i)
+			}
+		}()
 	}
+feed:
+	for i := range grid.Points {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sscm: collocation evaluation: %w", err)
+			return nil, resilience.New(resilience.Classify(err), "sscm.Run",
+				fmt.Errorf("collocation evaluation: %w", err))
 		}
 	}
 
@@ -188,6 +218,17 @@ func Run(d, order int, eval Evaluator, opt Options) (*Result, error) {
 		pce.Coeffs[t] = num / fact
 	}
 	return &Result{PCE: pce, Points: grid.Len()}, nil
+}
+
+// evalNode runs one collocation node with panic recovery.
+func evalNode(eval Evaluator, x []float64, i int) (v float64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = resilience.Errorf(resilience.KindPanic, "sscm.node",
+				"node %d panicked: %v\n%s", i, p, debug.Stack())
+		}
+	}()
+	return eval(x)
 }
 
 // GridSize returns the number of collocation points a (d, order) run

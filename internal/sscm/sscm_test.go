@@ -1,9 +1,14 @@
 package sscm
 
 import (
+	"context"
+	"errors"
 	"math"
+	"strings"
+	"sync/atomic"
 	"testing"
 
+	"roughsim/internal/resilience"
 	"roughsim/internal/rng"
 	"roughsim/internal/stats"
 )
@@ -40,7 +45,7 @@ func TestPCEExactQuadratic(t *testing.T) {
 	f := func(xi []float64) (float64, error) {
 		return 3 + 2*xi[0] - xi[1] + 0.5*xi[0]*xi[1] + xi[2]*xi[2], nil
 	}
-	res, err := Run(d, 2, f, Options{})
+	res, err := Run(context.Background(), d, 2, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +78,7 @@ func TestFirstOrderCapturesLinearPart(t *testing.T) {
 		}
 		return s, nil
 	}
-	res, err := Run(d, 1, f, Options{})
+	res, err := Run(context.Background(), d, 1, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +110,7 @@ func TestSurrogateCDFMatchesDirectSampling(t *testing.T) {
 		s += 0.03 * xi[0] * xi[1]
 		return s, nil
 	}
-	res, err := Run(d, 2, f, Options{})
+	res, err := Run(context.Background(), d, 2, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,18 +144,62 @@ func TestGridSizeMatchesPaperTable1(t *testing.T) {
 }
 
 func TestRunRejectsBadArgs(t *testing.T) {
-	if _, err := Run(0, 1, func([]float64) (float64, error) { return 0, nil }, Options{}); err == nil {
+	if _, err := Run(context.Background(), 0, 1, func([]float64) (float64, error) { return 0, nil }, Options{}); err == nil {
 		t.Fatal("expected error for d=0")
 	}
 }
 
 func TestOrderZeroIsMeanOnly(t *testing.T) {
 	f := func(xi []float64) (float64, error) { return 7, nil }
-	res, err := Run(3, 0, f, Options{})
+	res, err := Run(context.Background(), 3, 0, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Points != 1 || math.Abs(res.PCE.Mean()-7) > 1e-12 || res.PCE.Variance() != 0 {
 		t.Fatalf("order-0 run wrong: %+v", res)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen int64
+	f := func(xi []float64) (float64, error) {
+		if atomic.AddInt64(&seen, 1) == 2 {
+			cancel()
+		}
+		return 1, nil
+	}
+	_, err := Run(ctx, 16, 2, f, Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if n := atomic.LoadInt64(&seen); int(n) >= GridSize(16, 2) {
+		t.Fatalf("cancellation did not stop the run early (evaluated %d nodes)", n)
+	}
+}
+
+func TestRunPanicRecovered(t *testing.T) {
+	f := func(xi []float64) (float64, error) {
+		panic("collocation node blew up")
+	}
+	_, err := Run(context.Background(), 3, 1, f, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("expected error from panicking evaluator")
+	}
+	if resilience.Classify(err) != resilience.KindPanic {
+		t.Fatalf("expected panic classification, got %v: %v", resilience.Classify(err), err)
+	}
+	if !strings.Contains(err.Error(), "collocation node blew up") {
+		t.Fatalf("expected recovered panic message, got: %v", err)
+	}
+}
+
+func TestNodeErrorClassified(t *testing.T) {
+	f := func(xi []float64) (float64, error) {
+		return 0, resilience.Errorf(resilience.KindConvergence, "solver", "no convergence")
+	}
+	_, err := Run(context.Background(), 2, 1, f, Options{})
+	if resilience.Classify(err) != resilience.KindConvergence {
+		t.Fatalf("expected convergence classification, got %v", err)
 	}
 }

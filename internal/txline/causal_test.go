@@ -78,7 +78,11 @@ func TestCausalFactorSignsAndMagnitude(t *testing.T) {
 	var freqs, ks []float64
 	for fG := 0.5; fG <= 400; fG += 1 {
 		freqs = append(freqs, fG*1e9)
-		ks = append(ks, mat.EmpiricalAt(1e-6, fG*1e9))
+		k, err := mat.EmpiricalAt(1e-6, fG*1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks = append(ks, k)
 	}
 	c, err := NewCausalRoughness(freqs, ks)
 	if err != nil {
@@ -125,7 +129,11 @@ func TestCausalInsertionLossClose(t *testing.T) {
 	var freqs, ks []float64
 	for fG := 0.5; fG <= 30; fG += 0.5 {
 		freqs = append(freqs, fG*1e9)
-		ks = append(ks, mat.EmpiricalAt(1.5e-6, fG*1e9))
+		k, err := mat.EmpiricalAt(1.5e-6, fG*1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks = append(ks, k)
 	}
 	c, err := NewCausalRoughness(freqs, ks)
 	if err != nil {

@@ -83,7 +83,7 @@ func TestMatchedLineS21Magnitude(t *testing.T) {
 func TestRoughnessIncreasesLoss(t *testing.T) {
 	ms := fr4Line()
 	mat := core.PaperMaterial()
-	rough := func(f float64) float64 { return mat.EmpiricalAt(1e-6, f) }
+	rough := func(f float64) float64 { k, _ := mat.EmpiricalAt(1e-6, f); return k }
 	for _, fGHz := range []float64{1, 5, 10} {
 		f := fGHz * units.GHz
 		smooth := InsertionLossDB(ms, 0.3, f, 50, Smooth)
@@ -107,7 +107,7 @@ func TestConductorAttenuationScalesRootF(t *testing.T) {
 	// And roughness breaks the law: with the empirical K the ratio
 	// exceeds 2.
 	mat := core.PaperMaterial()
-	rough := func(f float64) float64 { return mat.EmpiricalAt(2e-6, f) }
+	rough := func(f float64) float64 { k, _ := mat.EmpiricalAt(2e-6, f); return k }
 	r1 := AttenuationNpPerM(ms, 1*units.GHz, rough)
 	r4 := AttenuationNpPerM(ms, 4*units.GHz, rough)
 	if r4/r1 <= a4/a1 {

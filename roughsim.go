@@ -23,12 +23,15 @@
 package roughsim
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"roughsim/internal/core"
 	"roughsim/internal/hbm"
 	"roughsim/internal/mom"
 	"roughsim/internal/montecarlo"
+	"roughsim/internal/resilience"
 	"roughsim/internal/spm2"
 	"roughsim/internal/sscm"
 	"roughsim/internal/surface"
@@ -77,6 +80,11 @@ type SurfaceSpec struct {
 func (sp SurfaceSpec) corr() (surface.Corr, error) {
 	if sp.EtaY > 0 && sp.Corr != GaussianCF {
 		return nil, fmt.Errorf("roughsim: anisotropy (EtaY) is only supported with GaussianCF")
+	}
+	// Guard before the surface constructors, which panic on bad inputs.
+	if !(sp.Sigma > 0) || !(sp.Eta > 0) {
+		return nil, resilience.Errorf(resilience.KindInvalidInput, "roughsim.NewSimulation",
+			"surface process needs Sigma > 0 and Eta > 0 (got σ=%g, η=%g)", sp.Sigma, sp.Eta)
 	}
 	switch sp.Corr {
 	case GaussianCF:
@@ -145,8 +153,11 @@ func NewSimulation(stack Stack, spec SurfaceSpec, acc Accuracy) (*Simulation, er
 		etaMax = spec.EtaY
 	}
 	L := acc.PatchOverEta * etaMax
-	solver := core.NewSolverTabulated(stack.material(), L, acc.GridPerSide,
+	solver, err := core.NewSolverTabulated(stack.material(), L, acc.GridPerSide,
 		14*spec.Sigma, mom.Options{Workers: acc.Workers})
+	if err != nil {
+		return nil, err
+	}
 	var kl *surface.KL
 	if spec.EtaY > 0 {
 		kl = surface.NewKL2D(surface.NewAnisoGaussianCorr(spec.Sigma, spec.Eta, spec.EtaY), L, acc.GridPerSide)
@@ -183,29 +194,73 @@ func (s *Simulation) CapturedVariance() float64 { return s.kl.CapturedVariance(s
 // MeanLossFactor returns E[Pr/Ps] at f via first-order SSCM (2d+1 solver
 // runs, per Table I).
 func (s *Simulation) MeanLossFactor(f float64) (float64, error) {
-	res, err := s.SSCM(f, 1)
+	return s.MeanLossFactorCtx(context.Background(), f)
+}
+
+// MeanLossFactorCtx is MeanLossFactor honoring cancellation: a cancelled
+// or expired ctx stops the underlying collocation run promptly.
+func (s *Simulation) MeanLossFactorCtx(ctx context.Context, f float64) (float64, error) {
+	res, err := s.SSCMCtx(ctx, f, 1)
 	if err != nil {
 		return 0, err
 	}
 	return res.PCE.Mean(), nil
 }
 
+// SweepMeanLossFactor computes E[Pr/Ps] at every frequency of freqs,
+// checking ctx between frequencies (and inside each collocation run) so
+// a timeout or Ctrl-C stops a long sweep promptly with ctx.Err().
+func (s *Simulation) SweepMeanLossFactor(ctx context.Context, freqs []float64) ([]float64, error) {
+	out := make([]float64, len(freqs))
+	for i, f := range freqs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		k, err := s.MeanLossFactorCtx(ctx, f)
+		if err != nil {
+			return nil, fmt.Errorf("roughsim: sweep at f=%g: %w", f, err)
+		}
+		out[i] = k
+	}
+	return out, nil
+}
+
 // SSCM builds the order-p polynomial chaos surrogate of K at f.
 func (s *Simulation) SSCM(f float64, order int) (*sscm.Result, error) {
+	return s.SSCMCtx(context.Background(), f, order)
+}
+
+// SSCMCtx is SSCM honoring cancellation.
+func (s *Simulation) SSCMCtx(ctx context.Context, f float64, order int) (*sscm.Result, error) {
 	eval := func(xi []float64) (float64, error) {
-		return s.solver.LossFactor(s.kl.Synthesize(xi), f)
+		return s.solver.LossFactorCtx(ctx, s.kl.Synthesize(xi), f)
 	}
-	return sscm.Run(s.dim, order, eval, sscm.Options{Workers: s.acc.Workers})
+	return sscm.Run(ctx, s.dim, order, eval, sscm.Options{Workers: s.acc.Workers})
 }
 
 // MonteCarlo estimates the distribution of K at f by brute force over n
 // surface realizations.
 func (s *Simulation) MonteCarlo(f float64, n int, seed uint64) (*montecarlo.Result, error) {
-	eval := func(xi []float64) (float64, error) {
-		return s.solver.LossFactor(s.kl.Synthesize(xi), f)
-	}
-	return montecarlo.Run(s.dim, n, eval, montecarlo.Options{Workers: s.acc.Workers, Seed: seed})
+	return s.MonteCarloCtx(context.Background(), f, n, seed, 0)
 }
+
+// MonteCarloCtx is MonteCarlo honoring cancellation and tolerating up to
+// maxFailFrac failed samples: within that budget the returned Result is
+// partial, carrying per-cause failure accounting over the samples that
+// did solve instead of discarding the run.
+func (s *Simulation) MonteCarloCtx(ctx context.Context, f float64, n int, seed uint64, maxFailFrac float64) (*montecarlo.Result, error) {
+	eval := func(xi []float64) (float64, error) {
+		return s.solver.LossFactorCtx(ctx, s.kl.Synthesize(xi), f)
+	}
+	return montecarlo.Run(ctx, s.dim, n, eval, montecarlo.Options{
+		Workers: s.acc.Workers, Seed: seed, MaxFailFrac: maxFailFrac,
+	})
+}
+
+// SolveStats returns the aggregated resilient-solve accounting (solve
+// count, fallback count, per-stage wins and failures) of the underlying
+// solver — how often the fallback chain had to go past plain GMRES.
+func (s *Simulation) SolveStats() core.SolveStats { return s.solver.Stats() }
 
 // SPM2LossFactor evaluates the second-order small-perturbation baseline
 // for the simulation's surface process at f.
@@ -229,9 +284,13 @@ func (s *Simulation) corrEta() float64 {
 }
 
 // EmpiricalLossFactor evaluates the Morgan/Hammerstad formula (1) for
-// the process σ at f.
+// the process σ at f. Out-of-domain inputs (f ≤ 0) yield NaN.
 func (s *Simulation) EmpiricalLossFactor(f float64) float64 {
-	return core.Empirical(s.corr.Sigma(), s.stack.SkinDepth(f))
+	k, err := core.Empirical(s.corr.Sigma(), s.stack.SkinDepth(f))
+	if err != nil {
+		return math.NaN()
+	}
+	return k
 }
 
 // HBMLossFactor evaluates the hemispherical-boss baseline for bosses of
@@ -241,6 +300,11 @@ func (s Stack) HBMLossFactor(f, a, tile float64) float64 {
 }
 
 // EmpiricalLossFactor is the package-level Morgan/Hammerstad formula (1).
+// Out-of-domain inputs (skinDepth ≤ 0) yield NaN.
 func EmpiricalLossFactor(sigma, skinDepth float64) float64 {
-	return core.Empirical(sigma, skinDepth)
+	k, err := core.Empirical(sigma, skinDepth)
+	if err != nil {
+		return math.NaN()
+	}
+	return k
 }

@@ -24,6 +24,14 @@ func TestSurfaceSpecValidation(t *testing.T) {
 	if _, err := NewSimulation(CopperSiO2(), SurfaceSpec{Corr: CFKind(99), Sigma: 1e-6, Eta: 1e-6}, Accuracy{}); err == nil {
 		t.Fatal("unknown CF must fail")
 	}
+	// Non-positive process parameters are returned errors, not panics
+	// from the surface constructors.
+	if _, err := NewSimulation(CopperSiO2(), SurfaceSpec{Corr: GaussianCF, Sigma: -1e-6, Eta: 1e-6}, Accuracy{}); err == nil {
+		t.Fatal("negative Sigma must fail")
+	}
+	if _, err := NewSimulation(CopperSiO2(), SurfaceSpec{Corr: ExponentialCF, Sigma: 1e-6, Eta: 0}, Accuracy{}); err == nil {
+		t.Fatal("zero Eta must fail")
+	}
 }
 
 func TestSimulationEndToEnd(t *testing.T) {
