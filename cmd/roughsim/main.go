@@ -7,15 +7,20 @@
 //
 //	roughsim [-sigma 1.0] [-eta 1.0] [-cf gaussian|exp|measured]
 //	         [-eta2 0.53] [-fmin 1] [-fmax 9] [-steps 9] [-grid 16] [-dim 16]
-//	         [-timeout 0]
+//	         [-timeout 0] [-json]
 //
 // Lengths are in micrometers, frequencies in GHz. The sweep honors
 // Ctrl-C and the -timeout budget: cancellation stops the run promptly
 // between solves instead of abandoning a half-printed table.
+//
+// With -json the sweep is emitted as a machine-readable
+// roughsim.SweepResult — the exact record schema the roughsimd result
+// endpoint returns, so CLI and service outputs are directly diffable.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,25 +44,29 @@ func main() {
 		grid    = flag.Int("grid", 16, "patch grid per side (paper: 40)")
 		dim     = flag.Int("dim", 16, "stochastic (KL) dimension")
 		timeout = flag.Duration("timeout", 0, "total sweep budget (e.g. 90s); 0 means no limit")
+		asJSON  = flag.Bool("json", false, "emit the sweep as JSON (the roughsimd record schema)")
 	)
 	flag.Parse()
 
-	spec := roughsim.SurfaceSpec{Sigma: *sigma * 1e-6, Eta: *eta * 1e-6}
-	switch *cf {
-	case "gaussian":
-		spec.Corr = roughsim.GaussianCF
-	case "exp":
-		spec.Corr = roughsim.ExponentialCF
-	case "measured":
-		spec.Corr = roughsim.MeasuredCF
-		spec.Eta2 = *eta2 * 1e-6
-	default:
+	kind, err := roughsim.ParseCFKind(*cf)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "roughsim: unknown -cf %q\n", *cf)
 		os.Exit(2)
 	}
+	spec := roughsim.SurfaceSpec{Corr: kind, Sigma: *sigma * 1e-6, Eta: *eta * 1e-6}
+	if kind == roughsim.MeasuredCF {
+		spec.Eta2 = *eta2 * 1e-6
+	}
 
-	stack := roughsim.CopperSiO2()
-	sim, err := roughsim.NewSimulation(stack, spec, roughsim.Accuracy{
+	freqs := make([]float64, *steps)
+	for i := range freqs {
+		fGHz := *fmin
+		if *steps > 1 {
+			fGHz += (*fmax - *fmin) * float64(i) / float64(*steps-1)
+		}
+		freqs[i] = fGHz * 1e9
+	}
+	sim, err := roughsim.NewSimulation(roughsim.CopperSiO2(), spec, roughsim.Accuracy{
 		GridPerSide: *grid, StochasticDim: *dim,
 	})
 	if err != nil {
@@ -73,17 +82,8 @@ func main() {
 		defer cancel()
 	}
 
-	freqs := make([]float64, *steps)
-	for i := range freqs {
-		fGHz := *fmin
-		if *steps > 1 {
-			fGHz += (*fmax - *fmin) * float64(i) / float64(*steps-1)
-		}
-		freqs[i] = fGHz * 1e9
-	}
-
 	start := time.Now()
-	ks, err := sim.SweepMeanLossFactor(ctx, freqs)
+	res, err := sim.RunSweep(ctx, freqs)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "%v (stopped after %v)\n", err, time.Since(start).Round(time.Millisecond))
@@ -93,13 +93,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "roughsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("SWM roughness loss sweep: σ=%g μm, η=%g μm, CF=%s, grid %d², d=%d\n",
-		*sigma, *eta, *cf, *grid, *dim)
+		*sigma, *eta, kind, *grid, *dim)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "f (GHz)\tδ (μm)\tSWM K\tSPM2 K\tempirical K")
-	for i, f := range freqs {
+	for _, p := range res.Points {
 		fmt.Fprintf(tw, "%.3g\t%.3f\t%.4f\t%.4f\t%.4f\n",
-			f/1e9, stack.SkinDepth(f)*1e6, ks[i], sim.SPM2LossFactor(f), sim.EmpiricalLossFactor(f))
+			p.FreqHz/1e9, p.SkinDepthM*1e6, p.KSWM, p.KSPM2, p.KEmpirical)
 	}
 	if err := tw.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "roughsim:", err)

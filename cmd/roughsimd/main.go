@@ -1,0 +1,87 @@
+// Command roughsimd serves the K(f) surface-roughness sweep workload
+// over HTTP: jobs enter a bounded FIFO queue, run on a fixed worker
+// pool, and their per-frequency records are cached under a canonical
+// content address (memory LRU + optional disk tier), so repeated and
+// concurrent identical sweeps cost one solver execution. Telemetry for
+// every tier is served at /metrics.
+//
+// Usage:
+//
+//	roughsimd [-addr :8080] [-workers 2] [-queue 64] [-job-timeout 0]
+//	          [-cache-size 4096] [-cache-dir ""] [-drain-timeout 30s]
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: submissions are
+// rejected, running sweeps get -drain-timeout to finish, then are
+// cancelled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"roughsim/internal/server"
+	"roughsim/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 2, "sweep worker pool size")
+		queueDepth   = flag.Int("queue", 64, "bounded job-queue capacity")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job deadline; 0 means none")
+		cacheSize    = flag.Int("cache-size", 4096, "result-cache entries (memory tier)")
+		cacheDir     = flag.String("cache-dir", "", "result-cache directory (disk tier); empty disables")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		JobTimeout: *jobTimeout,
+		CacheSize:  *cacheSize,
+		CacheDir:   *cacheDir,
+		Metrics:    telemetry.NewRegistry(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roughsimd:", err)
+		os.Exit(1)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roughsimd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "roughsimd: listening on %s (workers=%d queue=%d cache=%d dir=%q)\n",
+		l.Addr(), *workers, *queueDepth, *cacheSize, *cacheDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "roughsimd: draining…")
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "roughsimd: drain:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "roughsimd: drained cleanly")
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "roughsimd:", err)
+			os.Exit(1)
+		}
+	}
+}

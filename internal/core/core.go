@@ -21,10 +21,12 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"roughsim/internal/mom"
 	"roughsim/internal/resilience"
 	"roughsim/internal/surface"
+	"roughsim/internal/telemetry"
 	"roughsim/internal/units"
 )
 
@@ -86,6 +88,11 @@ type Solver struct {
 	// Injector deterministically fails solver stages for testing; nil
 	// injects nothing.
 	Injector *resilience.Injector
+
+	// Metrics, when non-nil, receives solve.* telemetry (latency
+	// histogram, fallback-stage counters, flat-reference cache hits).
+	// Set it before the first solve; it is read without locking.
+	Metrics *telemetry.Registry
 
 	key uint64 // running solve counter, the injector key
 
@@ -151,15 +158,19 @@ func (s *Solver) record(rep *mom.SolveReport) {
 		s.stats.StageFailures = map[string]int{}
 	}
 	s.stats.Solves++
+	s.Metrics.Counter("solve.count").Inc()
 	if rep.Winner != "" {
 		s.stats.StageWins[rep.Winner]++
+		s.Metrics.Counter("solve.stage_win." + rep.Winner).Inc()
 		if rep.Winner != mom.StageGMRES {
 			s.stats.Fallbacks++
+			s.Metrics.Counter("solve.fallbacks").Inc()
 		}
 	}
 	for _, a := range rep.Attempts {
 		if a.Err != nil {
 			s.stats.StageFailures[a.Stage]++
+			s.Metrics.Counter("solve.stage_failure." + a.Stage).Inc()
 		}
 	}
 }
@@ -167,13 +178,16 @@ func (s *Solver) record(rep *mom.SolveReport) {
 // solve runs the resilient chain on one assembled system and folds its
 // accounting into the solver stats.
 func (s *Solver) solve(ctx context.Context, sys *mom.System) (*mom.Solution, error) {
+	start := time.Now()
 	sol, err := sys.SolveResilient(ctx, mom.SolveOptions{
 		Tol:      s.SolveTol,
 		Policy:   s.Policy,
 		Injector: s.Injector,
 		Key:      atomic.AddUint64(&s.key, 1) - 1,
 	})
+	s.Metrics.Histogram("solve.seconds").Observe(time.Since(start).Seconds())
 	if err != nil {
+		s.Metrics.Counter("solve.errors").Inc()
 		return nil, err
 	}
 	s.record(sol.Report)
@@ -211,9 +225,11 @@ func (s *Solver) FlatPabsCtx(ctx context.Context, f float64) (float64, error) {
 	s.mu.Lock()
 	if v, ok := s.flatPabs[flatKey{f, false}]; ok {
 		s.mu.Unlock()
+		s.Metrics.Counter("core.flat_hits").Inc()
 		return v, nil
 	}
 	s.mu.Unlock()
+	s.Metrics.Counter("core.flat_solves").Inc()
 	sys, err := s.assemble(surface.NewFlat(s.L, s.M), f)
 	if err != nil {
 		return 0, fmt.Errorf("core: flat reference at f=%g: %w", f, err)

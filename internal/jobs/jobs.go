@@ -1,0 +1,320 @@
+// Package jobs is the execution tier of roughsimd: a bounded FIFO queue
+// drained by a fixed pool of workers, with per-job context deadlines,
+// explicit cancellation, progress reporting for streaming endpoints,
+// and graceful drain on shutdown (stop intake, finish what is running,
+// escalate to cancellation only when the drain deadline expires).
+//
+// It deliberately reuses the repository's resilience conventions: job
+// failures are classified through resilience.Classify, worker panics
+// are recovered into classified errors instead of killing the daemon,
+// and every state transition is observable through telemetry (queue
+// depth, running gauge, submitted/completed/failed/rejected counters,
+// job latency histogram).
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roughsim/internal/resilience"
+	"roughsim/internal/telemetry"
+)
+
+// Status is the lifecycle state of a job.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusSucceeded Status = "succeeded"
+	StatusFailed    Status = "failed"
+	StatusCanceled  Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusSucceeded || s == StatusFailed || s == StatusCanceled
+}
+
+// Runner is the work a job performs. It must honor ctx (per-job
+// deadline, explicit cancel, queue shutdown) and may report progress
+// (monotone done out of total) for streaming consumers.
+type Runner func(ctx context.Context, progress func(done, total int)) (any, error)
+
+// Job is one unit of queued work. All accessors are safe for
+// concurrent use.
+type Job struct {
+	ID string
+
+	run    Runner
+	ctx    context.Context // derived from the queue base at Submit
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	status    Status
+	result    any
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	progDone, progTotal atomic.Int64
+}
+
+// Info is a point-in-time snapshot of a job, shaped for JSON.
+type Info struct {
+	ID        string    `json:"id"`
+	Status    Status    `json:"status"`
+	Error     string    `json:"error,omitempty"`
+	Done      int64     `json:"progress_done"`
+	Total     int64     `json:"progress_total"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+}
+
+// Snapshot returns the job's current state.
+func (j *Job) Snapshot() Info {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := Info{
+		ID:        j.ID,
+		Status:    j.status,
+		Done:      j.progDone.Load(),
+		Total:     j.progTotal.Load(),
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	return info
+}
+
+// Done closes when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the job's outcome; valid only after Done() closes.
+func (j *Job) Result() (any, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Queue errors.
+var (
+	// ErrQueueFull: the bounded FIFO is at capacity; the caller should
+	// shed load (the server maps this to 503).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed: the queue is draining or closed and accepts no work.
+	ErrClosed = errors.New("jobs: queue closed")
+)
+
+// Queue is a bounded FIFO drained by a fixed worker pool.
+type Queue struct {
+	ch      chan *Job
+	timeout time.Duration
+	base    context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	closed bool
+
+	depth                                  *telemetry.Gauge
+	running                                *telemetry.Gauge
+	submitted, completed, failed, rejected *telemetry.Counter
+	canceled                               *telemetry.Counter
+	jobSeconds                             *telemetry.Histogram
+}
+
+// NewQueue starts workers goroutines draining a FIFO of at most
+// capacity queued jobs. jobTimeout > 0 bounds each job's run time.
+func NewQueue(workers, capacity int, jobTimeout time.Duration, m *telemetry.Registry) (*Queue, error) {
+	if workers <= 0 || capacity <= 0 {
+		return nil, fmt.Errorf("jobs: need workers > 0 and capacity > 0 (got %d, %d)", workers, capacity)
+	}
+	base, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		ch:         make(chan *Job, capacity),
+		timeout:    jobTimeout,
+		base:       base,
+		cancel:     cancel,
+		jobs:       map[string]*Job{},
+		depth:      m.Gauge("queue.depth"),
+		running:    m.Gauge("queue.running"),
+		submitted:  m.Counter("queue.jobs_submitted"),
+		completed:  m.Counter("queue.jobs_completed"),
+		failed:     m.Counter("queue.jobs_failed"),
+		rejected:   m.Counter("queue.jobs_rejected"),
+		canceled:   m.Counter("queue.jobs_canceled"),
+		jobSeconds: m.Histogram("queue.job_seconds"),
+	}
+	for w := 0; w < workers; w++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q, nil
+}
+
+// newID returns a random 128-bit hex job ID.
+func newID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit enqueues run, returning ErrQueueFull when the FIFO is at
+// capacity and ErrClosed after Drain has begun.
+func (q *Queue) Submit(run Runner) (*Job, error) {
+	j := &Job{ID: newID(), run: run, status: StatusQueued, submitted: time.Now(), done: make(chan struct{})}
+	j.ctx, j.cancel = context.WithCancel(q.base)
+
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		j.cancel()
+		q.rejected.Inc()
+		return nil, ErrClosed
+	}
+	select {
+	case q.ch <- j:
+		q.jobs[j.ID] = j
+		q.mu.Unlock()
+	default:
+		q.mu.Unlock()
+		j.cancel()
+		q.rejected.Inc()
+		return nil, ErrQueueFull
+	}
+	q.submitted.Inc()
+	q.depth.Set(float64(len(q.ch)))
+	return j, nil
+}
+
+// Get returns the job with the given ID.
+func (q *Queue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a queued or running job: the job's context expires,
+// which a running Runner observes directly and the worker translates
+// into StatusCanceled when it reaches (or finishes) the job.
+func (q *Queue) Cancel(id string) bool {
+	j, ok := q.Get(id)
+	if !ok {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.ch {
+		q.depth.Set(float64(len(q.ch)))
+		q.runJob(j)
+	}
+}
+
+func (q *Queue) runJob(j *Job) {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	q.running.Add(1)
+	defer q.running.Add(-1)
+
+	ctx := j.ctx
+	if q.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, q.timeout)
+		defer cancel()
+	}
+	progress := func(done, total int) {
+		j.progDone.Store(int64(done))
+		j.progTotal.Store(int64(total))
+	}
+	v, err := runRecovered(ctx, j.run, progress)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.result, j.err = v, err
+	switch {
+	case err == nil:
+		j.status = StatusSucceeded
+		q.completed.Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		resilience.Classify(err) == resilience.KindCanceled:
+		j.status = StatusCanceled
+		q.canceled.Inc()
+	default:
+		j.status = StatusFailed
+		q.failed.Inc()
+	}
+	elapsed := j.finished.Sub(j.started)
+	close(j.done)
+	j.mu.Unlock()
+	q.jobSeconds.Observe(elapsed.Seconds())
+}
+
+// runRecovered invokes the runner with panic recovery, so one bad job
+// cannot take down a worker (and with it the daemon).
+func runRecovered(ctx context.Context, run Runner, progress func(int, int)) (v any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = resilience.Errorf(resilience.KindPanic, "jobs.run",
+				"job panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return run(ctx, progress)
+}
+
+// Drain gracefully shuts the queue down: new submissions are rejected,
+// queued and running jobs are given until ctx expires to finish, then
+// every remaining job is cancelled and the workers are joined. Drain
+// returns nil when all work finished before the deadline.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	close(q.ch)
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Deadline: cancel everything still in flight and wait for the
+		// workers to notice.
+		q.cancel()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,290 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"roughsim/internal/resilience"
+	"roughsim/internal/telemetry"
+)
+
+func await(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID)
+	}
+}
+
+func TestFIFOOrderAndResult(t *testing.T) {
+	m := telemetry.NewRegistry()
+	q, err := NewQueue(1, 8, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+	var order []int
+	var jobsList []*Job
+	for i := 0; i < 4; i++ {
+		i := i
+		j, err := q.Submit(func(context.Context, func(int, int)) (any, error) {
+			order = append(order, i) // single worker ⇒ no race
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobsList = append(jobsList, j)
+	}
+	for i, j := range jobsList {
+		await(t, j)
+		v, err := j.Result()
+		if err != nil || v.(int) != i*i {
+			t.Fatalf("job %d: v=%v err=%v", i, v, err)
+		}
+		if s := j.Snapshot(); s.Status != StatusSucceeded {
+			t.Fatalf("job %d status %s", i, s.Status)
+		}
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("execution order %v not FIFO", order)
+		}
+	}
+	if n := m.Counter("queue.jobs_completed").Value(); n != 4 {
+		t.Fatalf("completed = %d", n)
+	}
+}
+
+func TestBoundedQueueRejectsWhenFull(t *testing.T) {
+	m := telemetry.NewRegistry()
+	q, err := NewQueue(1, 1, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// One running (occupying the worker) + one queued fills the system.
+	j1, err := q.Submit(func(context.Context, func(int, int)) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j2, err := q.Submit(func(context.Context, func(int, int)) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(func(context.Context, func(int, int)) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("expected ErrQueueFull, got %v", err)
+	}
+	if n := m.Counter("queue.jobs_rejected").Value(); n != 1 {
+		t.Fatalf("rejected = %d", n)
+	}
+	close(block)
+	await(t, j1)
+	await(t, j2)
+}
+
+func TestPerJobTimeout(t *testing.T) {
+	q, err := NewQueue(1, 2, 30*time.Millisecond, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+	j, err := q.Submit(func(ctx context.Context, _ func(int, int)) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, j)
+	if s := j.Snapshot(); s.Status != StatusCanceled {
+		t.Fatalf("status = %s, want canceled", s.Status)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	q, err := NewQueue(1, 2, 0, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+	started := make(chan struct{})
+	j, err := q.Submit(func(ctx context.Context, _ func(int, int)) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !q.Cancel(j.ID) {
+		t.Fatal("cancel returned false")
+	}
+	await(t, j)
+	if s := j.Snapshot(); s.Status != StatusCanceled {
+		t.Fatalf("status = %s", s.Status)
+	}
+	if q.Cancel("no-such-id") {
+		t.Fatal("cancel of unknown id must return false")
+	}
+}
+
+func TestCanceledWhileQueuedNeverRuns(t *testing.T) {
+	q, err := NewQueue(1, 2, 0, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	j1, _ := q.Submit(func(context.Context, func(int, int)) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started
+	var ran atomic.Bool
+	j2, err := q.Submit(func(ctx context.Context, _ func(int, int)) (any, error) {
+		if ctx.Err() == nil {
+			ran.Store(true)
+		}
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Cancel(j2.ID)
+	close(block)
+	await(t, j1)
+	await(t, j2)
+	if ran.Load() {
+		t.Fatal("canceled queued job must not run its body")
+	}
+	if s := j2.Snapshot(); s.Status != StatusCanceled {
+		t.Fatalf("status = %s", s.Status)
+	}
+}
+
+func TestPanicIsRecoveredAndClassified(t *testing.T) {
+	m := telemetry.NewRegistry()
+	q, err := NewQueue(2, 2, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+	j, err := q.Submit(func(context.Context, func(int, int)) (any, error) {
+		panic("kaboom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, j)
+	_, jerr := j.Result()
+	if resilience.Classify(jerr) != resilience.KindPanic {
+		t.Fatalf("err = %v, want panic classification", jerr)
+	}
+	// The worker survived: the queue still executes jobs.
+	j2, err := q.Submit(func(context.Context, func(int, int)) (any, error) { return "ok", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, j2)
+	if v, err := j2.Result(); err != nil || v.(string) != "ok" {
+		t.Fatalf("post-panic job: v=%v err=%v", v, err)
+	}
+	if n := m.Counter("queue.jobs_failed").Value(); n != 1 {
+		t.Fatalf("failed = %d", n)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	q, err := NewQueue(1, 1, 0, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+	j, err := q.Submit(func(_ context.Context, progress func(int, int)) (any, error) {
+		for i := 1; i <= 3; i++ {
+			progress(i, 3)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, j)
+	if s := j.Snapshot(); s.Done != 3 || s.Total != 3 {
+		t.Fatalf("progress %d/%d", s.Done, s.Total)
+	}
+}
+
+func TestGracefulDrainFinishesQueuedWork(t *testing.T) {
+	q, err := NewQueue(2, 8, 0, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	var last *Job
+	for i := 0; i < 6; i++ {
+		last, err = q.Submit(func(context.Context, func(int, int)) (any, error) {
+			time.Sleep(5 * time.Millisecond)
+			ran.Add(1)
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := ran.Load(); n != 6 {
+		t.Fatalf("drain finished %d of 6 jobs", n)
+	}
+	await(t, last)
+	if _, err := q.Submit(func(context.Context, func(int, int)) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-drain submit: %v", err)
+	}
+	// A second Drain is a no-op.
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	q, err := NewQueue(1, 2, 0, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	j, err := q.Submit(func(ctx context.Context, _ func(int, int)) (any, error) {
+		close(started)
+		<-ctx.Done() // only queue escalation can stop this job
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := q.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain err = %v", err)
+	}
+	await(t, j)
+	if s := j.Snapshot(); s.Status != StatusCanceled {
+		t.Fatalf("straggler status = %s", s.Status)
+	}
+}

@@ -23,7 +23,7 @@ func solveTestSystem() *System {
 func relDiff(a, b []complex128) float64 {
 	var num, den float64
 	for i := range a {
-		num += cmplx.Abs(a[i] - b[i]) * cmplx.Abs(a[i]-b[i])
+		num += cmplx.Abs(a[i]-b[i]) * cmplx.Abs(a[i]-b[i])
 		den += cmplx.Abs(b[i]) * cmplx.Abs(b[i])
 	}
 	return math.Sqrt(num / den)

@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 	"testing"
 
+	"roughsim/internal/greens"
 	"roughsim/internal/rng"
 	"roughsim/internal/surface"
 	"roughsim/internal/units"
@@ -49,6 +50,83 @@ func TestTabulatedMatchesExactAssembly(t *testing.T) {
 	}
 	if d := math.Abs(se.Pabs-st.Pabs) / se.Pabs; d > 1e-6 {
 		t.Fatalf("tabulated Pabs %g vs exact %g (rel %g)", st.Pabs, se.Pabs, d)
+	}
+}
+
+func TestTableInterpolationErrorAcrossSkinDepthRange(t *testing.T) {
+	// The tables must reproduce the direct Ewald/image-series kernels to
+	// interpolation precision over the paper's whole 1–9 GHz sweep, where
+	// the conductor's skin depth δ shrinks from ~2 μm to ~0.7 μm and the
+	// medium-2 kernel becomes progressively sharper. Sample both media's
+	// far and near tables at off-node heights and compare value and
+	// gradient against the exact evaluators the tables were built from.
+	L := 5 * um
+	m := 8
+	zspan := 2 * um
+	opt := Options{}.withDefaults()
+	// Off-node Δz samples: Chebyshev nodes cluster at the span edges, so
+	// include mid-interval points where interpolation error peaks.
+	dzs := []float64{-0.93 * zspan, -0.41 * zspan, -0.077 * zspan, 0.013 * zspan, 0.55 * zspan, 0.89 * zspan}
+
+	for _, fGHz := range []float64{1, 5, 9} {
+		f := fGHz * units.GHz
+		p := paramsAt(f)
+		delta := units.SkinDepthCopper(f)
+		if delta < 0.5*um || delta > 2.5*um {
+			t.Fatalf("f=%g GHz: skin depth %g m outside the expected 1–9 GHz range", fGHz, delta)
+		}
+		ts := NewTableSet(p, L, m, zspan, opt)
+
+		for mi, tb := range []*tabulated{ts.g1, ts.g2} {
+			exact := []*greens.Periodic3D{ts.exact1, ts.exact2}[mi]
+			var worst float64
+			check := func(label string, dx, dy float64, got complex128, gotGr [3]complex128, dz float64) {
+				want, wantGr := exact.EvalGrad(dx, dy, dz)
+				// Gradients are ~1/ρ² larger than values near the
+				// origin; normalize each component by its own magnitude
+				// (with the value's scale as a floor) so the bound is a
+				// true relative error everywhere.
+				floor := cmplx.Abs(want)
+				if d := cmplx.Abs(got-want) / (floor + 1e-300); d > worst {
+					worst = d
+				}
+				for q := 0; q < 3; q++ {
+					ref := cmplx.Abs(wantGr[q])
+					if ref < floor {
+						ref = floor
+					}
+					if d := cmplx.Abs(gotGr[q]-wantGr[q]) / (ref + 1e-300); d > worst {
+						worst = d
+					}
+				}
+				if worst > 1e-6 {
+					t.Fatalf("f=%g GHz medium %d %s (dx=%g dy=%g dz=%g): rel err %g",
+						fGHz, mi+1, label, dx, dy, dz, worst)
+				}
+			}
+
+			// Far table: a spread of wrapped grid offsets (never (0,0) —
+			// assembly keeps the self cell exact).
+			for _, off := range [][2]int{{1, 0}, {0, 3}, {2, 2}, {4, 1}, {3, 6}, {7, 7}} {
+				ix, iy := off[0], off[1]
+				for _, dz := range dzs {
+					v, gr := tb.evalFar(ix, iy, dz)
+					check("far", float64(ix)*tb.h, float64(iy)*tb.h, v, gr, dz)
+				}
+			}
+			// Near table: every cell offset at two sub-offsets, including
+			// the smallest lateral separations where the kernel peaks.
+			for c := -tb.near; c <= tb.near; c++ {
+				for _, s := range []int{0, tb.sub - 1} {
+					ai := tb.nearIndex(c, s)
+					for _, dz := range dzs {
+						v, gr := tb.evalNear(ai, ai, dz)
+						check("near", tb.nearOffset(ai), tb.nearOffset(ai), v, gr, dz)
+					}
+				}
+			}
+			t.Logf("f=%g GHz (δ=%.3g μm) medium %d: worst rel interp err %.3g", fGHz, delta/um, mi+1, worst)
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"roughsim/internal/resilience"
 	"roughsim/internal/rng"
 	"roughsim/internal/stats"
+	"roughsim/internal/telemetry"
 )
 
 // Evaluator maps KL coordinates to the quantity of interest; it must be
@@ -43,6 +44,9 @@ type Options struct {
 	// Injector deterministically injects per-sample faults for testing
 	// the degradation path; nil injects nothing.
 	Injector *resilience.Injector
+	// Metrics, when non-nil, receives mc.* telemetry (run/sample
+	// counters, per-cause failure counts).
+	Metrics *telemetry.Registry
 }
 
 // Failure records one failed sample.
@@ -124,6 +128,7 @@ feed:
 		return nil, err
 	}
 
+	opt.Metrics.Counter("mc.runs").Inc()
 	res := &Result{Requested: n, FailureCounts: map[resilience.Kind]int{}}
 	for i := 0; i < n; i++ {
 		if !done[i] {
@@ -139,7 +144,9 @@ feed:
 	}
 	for _, f := range res.Failures {
 		res.FailureCounts[f.Kind]++
+		opt.Metrics.Counter("mc.samples_failed." + f.Kind.String()).Inc()
 	}
+	opt.Metrics.Counter("mc.samples_ok").Add(int64(len(res.Samples)))
 	budget := int(opt.MaxFailFrac * float64(n))
 	if len(res.Failures) > budget {
 		first := res.Failures[0]

@@ -1,0 +1,222 @@
+// Package rescache is the content-addressed result cache of the service
+// tier. The K(f) workload is embarrassingly repeatable — the same
+// (material, surface process, grid, frequency) tuple recurs across
+// sweeps, ablations and figure regeneration — so results are cached
+// under the SHA-256 of a canonical binary encoding of the full solver
+// configuration plus frequency (see Enc), through two tiers:
+//
+//   - an in-memory LRU holding decoded values, sized in entries;
+//   - an optional on-disk tier (one JSON-codec file per key, written
+//     atomically via rename), surviving process restarts.
+//
+// Concurrent requests for the same key are single-flighted: one caller
+// computes, the rest wait and share the result, so a burst of identical
+// sweep jobs costs one solver execution. Hit/miss/eviction and
+// single-flight sharing counts are published through telemetry.
+package rescache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"roughsim/internal/telemetry"
+)
+
+// Codec (de)serializes values for the disk tier.
+type Codec struct {
+	Encode func(v any) ([]byte, error)
+	Decode func(b []byte) (any, error)
+}
+
+// Options configures optional cache behavior.
+type Options struct {
+	// Dir enables the disk tier when non-empty; the directory is
+	// created on first write. Requires a Codec.
+	Dir string
+	// Codec encodes values to/from the disk tier.
+	Codec Codec
+	// Metrics receives cache.* counters; nil disables instrumentation.
+	Metrics *telemetry.Registry
+}
+
+// Cache is a two-tier single-flight result cache, safe for concurrent
+// use.
+type Cache struct {
+	capacity int
+	opt      Options
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+	calls map[Key]*call
+
+	hits, misses, diskHits, evictions, shared, diskErrors *telemetry.Counter
+	entries                                               *telemetry.Gauge
+}
+
+type entry struct {
+	key Key
+	val any
+}
+
+// call is one in-flight computation; waiters block on done.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New builds a cache holding up to capacity entries in memory.
+func New(capacity int, opt Options) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("rescache: capacity must be positive (got %d)", capacity)
+	}
+	if opt.Dir != "" && (opt.Codec.Encode == nil || opt.Codec.Decode == nil) {
+		return nil, fmt.Errorf("rescache: disk tier %q needs a codec", opt.Dir)
+	}
+	m := opt.Metrics
+	return &Cache{
+		capacity:   capacity,
+		opt:        opt,
+		ll:         list.New(),
+		items:      map[Key]*list.Element{},
+		calls:      map[Key]*call{},
+		hits:       m.Counter("cache.hits"),
+		misses:     m.Counter("cache.misses"),
+		diskHits:   m.Counter("cache.disk_hits"),
+		evictions:  m.Counter("cache.evictions"),
+		shared:     m.Counter("cache.singleflight_shared"),
+		diskErrors: m.Counter("cache.disk_errors"),
+		entries:    m.Gauge("cache.entries"),
+	}, nil
+}
+
+// Len returns the number of entries in the memory tier.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// GetOrCompute returns the value for key, computing it at most once
+// across all concurrent callers. cached reports whether the value came
+// from a tier or a shared in-flight computation rather than this
+// caller's own compute. Errors are never cached: every waiter of a
+// failed computation receives the error and the next request recomputes.
+//
+// The computation runs under the first caller's ctx; a waiter whose own
+// ctx expires stops waiting with its ctx error while the computation
+// (and the other waiters) continue unaffected.
+func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func(context.Context) (any, error)) (v any, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v = el.Value.(*entry).val
+		c.mu.Unlock()
+		c.hits.Inc()
+		return v, true, nil
+	}
+	if cl, ok := c.calls[key]; ok {
+		c.mu.Unlock()
+		c.shared.Inc()
+		select {
+		case <-cl.done:
+			return cl.val, true, cl.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.calls[key] = cl
+	c.mu.Unlock()
+	c.misses.Inc()
+
+	v, fromDisk, err := c.load(ctx, key, compute)
+	cl.val, cl.err = v, err
+	close(cl.done)
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	if err == nil {
+		c.insertLocked(key, v)
+	}
+	c.mu.Unlock()
+	return v, fromDisk, err
+}
+
+// load tries the disk tier, then computes (and writes the disk tier
+// back on success).
+func (c *Cache) load(ctx context.Context, key Key, compute func(context.Context) (any, error)) (any, bool, error) {
+	if c.opt.Dir != "" {
+		if b, err := os.ReadFile(c.path(key)); err == nil {
+			if v, derr := c.opt.Codec.Decode(b); derr == nil {
+				c.diskHits.Inc()
+				return v, true, nil
+			}
+			// A corrupt file falls through to recompute (and rewrite).
+			c.diskErrors.Inc()
+		}
+	}
+	v, err := compute(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	if c.opt.Dir != "" {
+		if werr := c.writeDisk(key, v); werr != nil {
+			c.diskErrors.Inc()
+		}
+	}
+	return v, false, nil
+}
+
+// insertLocked adds the value to the memory tier, evicting from the
+// back past capacity. Caller holds c.mu.
+func (c *Cache) insertLocked(key Key, v any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: v})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*entry).key)
+		c.evictions.Inc()
+	}
+	c.entries.Set(float64(c.ll.Len()))
+}
+
+func (c *Cache) path(key Key) string {
+	return filepath.Join(c.opt.Dir, key.String()+".json")
+}
+
+// writeDisk persists one value atomically (temp file + rename), so a
+// crash mid-write never leaves a truncated entry for load to trust.
+func (c *Cache) writeDisk(key Key, v any) error {
+	b, err := c.opt.Codec.Encode(v)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(c.opt.Dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.opt.Dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}

@@ -1,0 +1,240 @@
+package rescache
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"roughsim/internal/telemetry"
+)
+
+func jsonCodec() Codec {
+	return Codec{
+		Encode: func(v any) ([]byte, error) { return json.Marshal(v) },
+		Decode: func(b []byte) (any, error) {
+			var v float64
+			err := json.Unmarshal(b, &v)
+			return v, err
+		},
+	}
+}
+
+func keyOf(parts ...float64) Key {
+	e := NewEnc().Uint64(1)
+	for _, p := range parts {
+		e.Float64(p)
+	}
+	return e.Sum()
+}
+
+func TestCanonicalFloatEncoding(t *testing.T) {
+	// −0 and +0 collapse; distinct NaN payloads collapse; nearby but
+	// distinct values do not.
+	if keyOf(0.0) != keyOf(math.Copysign(0, -1)) {
+		t.Fatal("−0 and +0 must share a key")
+	}
+	nan2 := math.Float64frombits(math.Float64bits(math.NaN()) ^ 1)
+	if keyOf(math.NaN()) != keyOf(nan2) {
+		t.Fatal("NaN payloads must collapse to one key")
+	}
+	if keyOf(1.0) == keyOf(math.Nextafter(1.0, 2)) {
+		t.Fatal("adjacent floats must not collide")
+	}
+	// Field boundaries are unambiguous: ("ab","c") ≠ ("a","bc").
+	k1 := NewEnc().String("ab").String("c").Sum()
+	k2 := NewEnc().String("a").String("bc").Sum()
+	if k1 == k2 {
+		t.Fatal("length-prefixed strings must not alias")
+	}
+	// The encoding (and thus the key) is reproducible.
+	if keyOf(3.7, 5e9) != keyOf(3.7, 5e9) {
+		t.Fatal("encoding must be deterministic")
+	}
+}
+
+func TestMemoryTierHitAndLRUEviction(t *testing.T) {
+	m := telemetry.NewRegistry()
+	c, err := New(2, Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute := func(v float64) func(context.Context) (any, error) {
+		return func(context.Context) (any, error) { return v, nil }
+	}
+	ctx := context.Background()
+	for i, k := range []Key{keyOf(1), keyOf(2), keyOf(1)} {
+		v, cached, err := c.GetOrCompute(ctx, k, compute(float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			if !cached || v.(float64) != 0 {
+				t.Fatalf("expected memory hit of first value, got cached=%v v=%v", cached, v)
+			}
+		} else if cached {
+			t.Fatalf("entry %d should be a miss", i)
+		}
+	}
+	// Insert a third key: capacity 2 evicts the LRU entry (keyOf(2)).
+	if _, _, err := c.GetOrCompute(ctx, keyOf(3), compute(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, cached, _ := c.GetOrCompute(ctx, keyOf(2), compute(9)); cached {
+		t.Fatal("evicted key must recompute")
+	}
+	if got := m.Counter("cache.evictions").Value(); got < 1 {
+		t.Fatalf("evictions = %d, want ≥ 1", got)
+	}
+	if got := m.Counter("cache.hits").Value(); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+}
+
+func TestSingleFlightSharesOneComputation(t *testing.T) {
+	m := telemetry.NewRegistry()
+	c, err := New(8, Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	release := make(chan struct{})
+	compute := func(context.Context) (any, error) {
+		computes.Add(1)
+		<-release
+		return 42.0, nil
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	vals := make([]float64, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.GetOrCompute(context.Background(), keyOf(7), compute)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vals[i] = v.(float64)
+		}(i)
+	}
+	// Let every goroutine reach the cache before releasing the compute.
+	for m.Counter("cache.singleflight_shared").Value() < callers-1 {
+		if computes.Load() > 1 {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computations = %d, want 1", n)
+	}
+	for i, v := range vals {
+		if v != 42 {
+			t.Fatalf("caller %d got %g", i, v)
+		}
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c, err := New(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err = c.GetOrCompute(context.Background(), keyOf(1), func(context.Context) (any, error) {
+		calls++
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, cached, err := c.GetOrCompute(context.Background(), keyOf(1), func(context.Context) (any, error) {
+		calls++
+		return 5.0, nil
+	})
+	if err != nil || cached || v.(float64) != 5 {
+		t.Fatalf("retry: v=%v cached=%v err=%v", v, cached, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestDiskTierRoundTripAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	m := telemetry.NewRegistry()
+	mk := func() *Cache {
+		c, err := New(4, Options{Dir: dir, Codec: jsonCodec(), Metrics: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	key := keyOf(1.25, 9e9)
+	ctx := context.Background()
+	if _, _, err := mk().GetOrCompute(ctx, key, func(context.Context) (any, error) { return 2.5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache (fresh memory tier) must hit the disk tier, not
+	// recompute.
+	v, cached, err := mk().GetOrCompute(ctx, key, func(context.Context) (any, error) {
+		t.Fatal("must not recompute")
+		return nil, nil
+	})
+	if err != nil || !cached || v.(float64) != 2.5 {
+		t.Fatalf("disk hit: v=%v cached=%v err=%v", v, cached, err)
+	}
+	if m.Counter("cache.disk_hits").Value() != 1 {
+		t.Fatalf("disk_hits = %d", m.Counter("cache.disk_hits").Value())
+	}
+	// Corrupt the file: the cache recomputes and rewrites.
+	if err := os.WriteFile(filepath.Join(dir, key.String()+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err = mk().GetOrCompute(ctx, key, func(context.Context) (any, error) { return 7.5, nil })
+	if err != nil || v.(float64) != 7.5 {
+		t.Fatalf("corrupt recompute: v=%v err=%v", v, err)
+	}
+	if m.Counter("cache.disk_errors").Value() == 0 {
+		t.Fatal("corruption must be counted")
+	}
+}
+
+func TestWaiterContextCancellation(t *testing.T) {
+	c, err := New(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.GetOrCompute(context.Background(), keyOf(1), func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return 1.0, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = c.GetOrCompute(ctx, keyOf(1), func(context.Context) (any, error) { return 2.0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Options{}); err == nil {
+		t.Fatal("capacity 0 must be rejected")
+	}
+	if _, err := New(1, Options{Dir: t.TempDir()}); err == nil {
+		t.Fatal("disk tier without codec must be rejected")
+	}
+}

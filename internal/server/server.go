@@ -1,0 +1,375 @@
+// Package server is the HTTP tier of roughsimd: sweep jobs are
+// submitted to a bounded queue, executed by a fixed worker pool, and
+// their per-frequency K(f) records served from a content-addressed
+// result cache, so identical work is computed once across requests,
+// restarts (with a disk tier) and concurrent submissions
+// (single-flight).
+//
+// API (all JSON):
+//
+//	POST /v1/sweeps            submit a roughsim.SweepConfig; 202 + job info
+//	GET  /v1/sweeps/{id}       job status + progress
+//	GET  /v1/sweeps/{id}/result  the roughsim.SweepResult (when succeeded)
+//	GET  /v1/sweeps/{id}/stream  SSE progress events until terminal
+//	DELETE /v1/sweeps/{id}     cancel a queued or running job
+//	GET  /metrics              telemetry snapshot (expvar-style JSON)
+//	GET  /healthz              liveness
+//
+// The record schema of /result is exactly what `roughsim -json` emits,
+// so CLI and service outputs are diffable.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"roughsim"
+	"roughsim/internal/jobs"
+	"roughsim/internal/rescache"
+	"roughsim/internal/resilience"
+	"roughsim/internal/telemetry"
+)
+
+// Config sizes the service tier. Zero values select the defaults noted
+// on each field.
+type Config struct {
+	Workers    int           // queue worker pool (default 2)
+	QueueDepth int           // bounded FIFO capacity (default 64)
+	JobTimeout time.Duration // per-job deadline (default none)
+	CacheSize  int           // memory-tier entries (default 4096)
+	CacheDir   string        // disk tier directory ("" disables)
+	// Limits guard the service against pathological requests.
+	MaxGrid  int // largest accepted GridPerSide (default 64)
+	MaxDim   int // largest accepted StochasticDim (default 32)
+	MaxFreqs int // longest accepted frequency list (default 256)
+	// Metrics receives every tier's telemetry; default a fresh registry.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxGrid <= 0 {
+		c.MaxGrid = 64
+	}
+	if c.MaxDim <= 0 {
+		c.MaxDim = 32
+	}
+	if c.MaxFreqs <= 0 {
+		c.MaxFreqs = 256
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// Server wires the queue, cache and metrics behind an http.Handler.
+type Server struct {
+	cfg     Config
+	queue   *jobs.Queue
+	cache   *rescache.Cache
+	metrics *telemetry.Registry
+	mux     *http.ServeMux
+	http    *http.Server
+
+	// sims memoizes constructed simulations (KL modes + Green's-function
+	// tables are expensive) keyed by the frequency-independent part of
+	// the config. Bounded by simCacheCap with whole-map reset — solver
+	// configs are few in practice.
+	simMu sync.Mutex
+	sims  map[rescache.Key]*roughsim.Simulation
+}
+
+const simCacheCap = 32
+
+// pointCodec (de)serializes SweepPoints for the cache's disk tier.
+func pointCodec() rescache.Codec {
+	return rescache.Codec{
+		Encode: func(v any) ([]byte, error) { return json.Marshal(v) },
+		Decode: func(b []byte) (any, error) {
+			var p roughsim.SweepPoint
+			if err := json.Unmarshal(b, &p); err != nil {
+				return nil, err
+			}
+			return p, nil
+		},
+	}
+}
+
+// New builds the server (starting its worker pool).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	queue, err := jobs.NewQueue(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	cacheOpt := rescache.Options{Metrics: cfg.Metrics}
+	if cfg.CacheDir != "" {
+		cacheOpt.Dir = cfg.CacheDir
+		cacheOpt.Codec = pointCodec()
+	}
+	cache, err := rescache.New(cfg.CacheSize, cacheOpt)
+	if err != nil {
+		queue.Drain(context.Background())
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   queue,
+		cache:   cache,
+		metrics: cfg.Metrics,
+		mux:     http.NewServeMux(),
+		sims:    map[rescache.Key]*roughsim.Simulation{},
+	}
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.mux.Handle("GET /metrics", cfg.Metrics.Handler())
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.http = &http.Server{Handler: s.instrument(s.mux)}
+	return s, nil
+}
+
+// Handler returns the API handler (also useful under a test server).
+func (s *Server) Handler() http.Handler { return s.http.Handler }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// Shutdown drains gracefully: the queue stops accepting work and
+// finishes (or, past ctx, cancels) in-flight jobs, then the HTTP
+// listener closes idle connections and waits for handlers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	qerr := s.queue.Drain(ctx)
+	herr := s.http.Shutdown(ctx)
+	if qerr != nil {
+		return qerr
+	}
+	return herr
+}
+
+// instrument counts requests around the mux.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Counter("server.requests").Inc()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// simFor returns (building on first use) the Simulation for the
+// frequency-independent part of cfg.
+func (s *Server) simFor(cfg roughsim.SweepConfig) (*roughsim.Simulation, error) {
+	// Key the sim cache by the config at a fixed pseudo-frequency: KeyAt
+	// already canonicalizes exactly the frequency-independent fields
+	// plus f, so a constant f keys the solver config alone.
+	key := cfg.KeyAt(1)
+	s.simMu.Lock()
+	defer s.simMu.Unlock()
+	if sim, ok := s.sims[key]; ok {
+		return sim, nil
+	}
+	sim, err := roughsim.NewSimulation(cfg.Stack, cfg.Spec, cfg.Acc)
+	if err != nil {
+		return nil, err
+	}
+	sim.WithMetrics(s.metrics)
+	if len(s.sims) >= simCacheCap {
+		s.sims = map[rescache.Key]*roughsim.Simulation{}
+	}
+	s.sims[key] = sim
+	return sim, nil
+}
+
+// runSweep is the job body: one cache lookup (and at most one solve,
+// globally, thanks to single-flight) per frequency.
+func (s *Server) runSweep(cfg roughsim.SweepConfig) jobs.Runner {
+	return func(ctx context.Context, progress func(done, total int)) (any, error) {
+		res := &roughsim.SweepResult{Config: cfg, Points: make([]roughsim.SweepPoint, 0, len(cfg.Freqs))}
+		progress(0, len(cfg.Freqs))
+		for i, f := range cfg.Freqs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			f := f
+			v, _, err := s.cache.GetOrCompute(ctx, cfg.KeyAt(f), func(ctx context.Context) (any, error) {
+				sim, err := s.simFor(cfg)
+				if err != nil {
+					return nil, err
+				}
+				s.metrics.Counter("sweep.points_computed").Inc()
+				return sim.PointAt(ctx, f)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("server: sweep at f=%g: %w", f, err)
+			}
+			res.Points = append(res.Points, v.(roughsim.SweepPoint))
+			progress(i+1, len(cfg.Freqs))
+		}
+		return res, nil
+	}
+}
+
+// validate applies the service limits on top of SweepConfig.Validate.
+func (s *Server) validate(cfg roughsim.SweepConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Acc.GridPerSide > s.cfg.MaxGrid {
+		return fmt.Errorf("grid %d exceeds the service limit %d", cfg.Acc.GridPerSide, s.cfg.MaxGrid)
+	}
+	if cfg.Acc.StochasticDim > s.cfg.MaxDim {
+		return fmt.Errorf("dim %d exceeds the service limit %d", cfg.Acc.StochasticDim, s.cfg.MaxDim)
+	}
+	if len(cfg.Freqs) > s.cfg.MaxFreqs {
+		return fmt.Errorf("%d frequencies exceed the service limit %d", len(cfg.Freqs), s.cfg.MaxFreqs)
+	}
+	return nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var cfg roughsim.SweepConfig
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	cfg = cfg.WithDefaults()
+	if err := s.validate(cfg); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.queue.Submit(s.runSweep(cfg))
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.job(w, r); !ok {
+		return
+	}
+	s.queue.Cancel(r.PathValue("id"))
+	j, _ := s.queue.Get(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	info := j.Snapshot()
+	if !info.Status.Terminal() {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; result not ready", info.ID, info.Status))
+		return
+	}
+	v, err := j.Result()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if resilience.Classify(err) == resilience.KindInvalidInput {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleStream serves Server-Sent Events: one "progress" event per
+// observed change plus a final "done" event with the terminal status.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) {
+		b, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		fl.Flush()
+	}
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	var last jobs.Info
+	for {
+		info := j.Snapshot()
+		if info.Done != last.Done || info.Status != last.Status {
+			emit("progress", info)
+			last = info
+		}
+		if info.Status.Terminal() {
+			emit("done", info)
+			return
+		}
+		select {
+		case <-j.Done():
+			// Loop once more to emit the terminal snapshot.
+		case <-ticker.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

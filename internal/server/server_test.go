@@ -1,0 +1,421 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"roughsim"
+	"roughsim/internal/jobs"
+	"roughsim/internal/telemetry"
+)
+
+// tinyConfig is a sweep small enough to solve in well under a second:
+// an 8×8 grid with a 2-dimensional KL truncation means five collocation
+// solves of a 128×128 system plus one flat reference.
+func tinyConfig(freqs ...float64) roughsim.SweepConfig {
+	return roughsim.SweepConfig{
+		Spec:  roughsim.SurfaceSpec{Corr: roughsim.GaussianCF, Sigma: 0.4e-6, Eta: 1e-6},
+		Acc:   roughsim.Accuracy{GridPerSide: 8, StochasticDim: 2},
+		Freqs: freqs,
+	}
+}
+
+type testServer struct {
+	srv      *Server
+	base     string
+	client   *http.Client
+	metrics  *telemetry.Registry
+	serveErr chan error
+}
+
+func startServer(t *testing.T, cfg Config) *testServer {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	return &testServer{
+		srv:      srv,
+		base:     "http://" + l.Addr().String(),
+		client:   &http.Client{},
+		metrics:  cfg.Metrics,
+		serveErr: errc,
+	}
+}
+
+func (ts *testServer) shutdown(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ts.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-ts.serveErr; err != http.ErrServerClosed {
+		t.Fatalf("serve returned %v", err)
+	}
+	ts.client.CloseIdleConnections()
+}
+
+func (ts *testServer) do(t *testing.T, method, path string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, ts.base+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// submitAndWait submits cfg and polls until the job is terminal,
+// returning the raw /result body.
+func (ts *testServer) submitAndWait(t *testing.T, cfg roughsim.SweepConfig) []byte {
+	t.Helper()
+	code, body := ts.do(t, "POST", "/v1/sweeps", cfg)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var info jobs.Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	return ts.waitResult(t, info.ID)
+}
+
+func (ts *testServer) waitResult(t *testing.T, id string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body := ts.do(t, "GET", "/v1/sweeps/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("status: %d %s", code, body)
+		}
+		var info jobs.Info
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Status.Terminal() {
+			if info.Status != jobs.StatusSucceeded {
+				t.Fatalf("job %s ended %s: %s", id, info.Status, info.Error)
+			}
+			code, res := ts.do(t, "GET", "/v1/sweeps/"+id+"/result", nil)
+			if code != http.StatusOK {
+				t.Fatalf("result: %d %s", code, res)
+			}
+			return res
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish: %+v", id, info)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEndToEndSingleFlightCacheAndDrain is the acceptance test of the
+// service tier: the same sweep submitted twice concurrently and once
+// more after completion must cost exactly one solver execution (the
+// single-flight + cache behavior, observed via /metrics), return
+// byte-identical results all three times, and the server must drain
+// gracefully with no goroutine leaks.
+func TestEndToEndSingleFlightCacheAndDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	baseline := runtime.NumGoroutine()
+	ts := startServer(t, Config{Workers: 2, QueueDepth: 8, CacheSize: 64})
+	cfg := tinyConfig(5e9)
+
+	// Two concurrent identical submissions.
+	var wg sync.WaitGroup
+	results := make([][]byte, 3)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = ts.submitAndWait(t, cfg)
+		}(i)
+	}
+	wg.Wait()
+	// One more after completion: must be a pure cache hit.
+	results[2] = ts.submitAndWait(t, cfg)
+
+	for i := 1; i < 3; i++ {
+		if !bytes.Equal(results[0], results[i]) {
+			t.Fatalf("result %d differs:\n%s\nvs\n%s", i, results[0], results[i])
+		}
+	}
+	var res roughsim.SweepResult
+	if err := json.Unmarshal(results[0], &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || !(res.Points[0].KSWM > 1) {
+		t.Fatalf("suspicious sweep result: %+v", res)
+	}
+
+	// Exactly one solver execution across all three jobs.
+	code, body := ts.do(t, "GET", "/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["sweep.points_computed"]; got != 1 {
+		t.Fatalf("points_computed = %d, want 1 (metrics: %s)", got, body)
+	}
+	if got := snap.Counters["cache.hits"] + snap.Counters["cache.singleflight_shared"]; got < 2 {
+		t.Fatalf("cache sharing = %d, want ≥ 2 (metrics: %s)", got, body)
+	}
+	if got := snap.Counters["queue.jobs_completed"]; got != 3 {
+		t.Fatalf("jobs_completed = %d, want 3", got)
+	}
+	if snap.Counters["solve.count"] == 0 || snap.Histograms["solve.seconds"].Count == 0 {
+		t.Fatalf("solver telemetry missing: %s", body)
+	}
+
+	// Graceful drain; submissions now shed with 503.
+	ts.shutdown(t)
+	// No goroutine leaks: the worker pool, SSE tickers and HTTP
+	// machinery must all unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	ts := startServer(t, Config{})
+	defer ts.shutdown(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty freqs", `{"surface":{"cf":"gaussian","sigma":1e-6,"eta":1e-6},"freqs_hz":[]}`},
+		{"negative freq", `{"surface":{"cf":"gaussian","sigma":1e-6,"eta":1e-6},"freqs_hz":[-1]}`},
+		{"bad cf", `{"surface":{"cf":"fractal","sigma":1e-6,"eta":1e-6},"freqs_hz":[1e9]}`},
+		{"unknown field", `{"surfaces":{},"freqs_hz":[1e9]}`},
+		{"grid above limit", `{"surface":{"cf":"gaussian","sigma":1e-6,"eta":1e-6},"accuracy":{"grid":1000},"freqs_hz":[1e9]}`},
+		{"dim above limit", `{"surface":{"cf":"gaussian","sigma":1e-6,"eta":1e-6},"accuracy":{"dim":1000},"freqs_hz":[1e9]}`},
+		{"not json", `{{{`},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest("POST", ts.base+"/v1/sweeps", strings.NewReader(c.body))
+		resp, err := ts.client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+}
+
+func TestUnknownJobAndPrematureResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	ts := startServer(t, Config{})
+	defer ts.shutdown(t)
+	if code, _ := ts.do(t, "GET", "/v1/sweeps/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d", code)
+	}
+	if code, _ := ts.do(t, "GET", "/v1/sweeps/nope/result", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job result = %d", code)
+	}
+	if code, _ := ts.do(t, "DELETE", "/v1/sweeps/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job cancel = %d", code)
+	}
+	// A freshly submitted job's result is a 409 until it terminates.
+	code, body := ts.do(t, "POST", "/v1/sweeps", tinyConfig(5e9))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var info jobs.Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := ts.do(t, "GET", "/v1/sweeps/"+info.ID+"/result", nil); code != http.StatusOK && code != http.StatusConflict {
+		t.Fatalf("early result = %d, want 200 or 409", code)
+	}
+	ts.waitResult(t, info.ID)
+}
+
+func TestHealthzAndMetricsEndpoints(t *testing.T) {
+	ts := startServer(t, Config{})
+	defer ts.shutdown(t)
+	code, body := ts.do(t, "GET", "/healthz", nil)
+	if code != http.StatusOK || !bytes.Contains(body, []byte("ok")) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	code, body = ts.do(t, "GET", "/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if snap.Counters["server.requests"] < 1 {
+		t.Fatalf("request counter missing: %s", body)
+	}
+}
+
+func TestDiskTierSurvivesRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	dir := t.TempDir()
+	cfg := tinyConfig(5e9)
+
+	m1 := telemetry.NewRegistry()
+	ts1 := startServer(t, Config{CacheDir: dir, Metrics: m1})
+	first := ts1.submitAndWait(t, cfg)
+	ts1.shutdown(t)
+
+	// A fresh server process (fresh memory tier) must serve the same
+	// record from disk without running the solver.
+	m2 := telemetry.NewRegistry()
+	ts2 := startServer(t, Config{CacheDir: dir, Metrics: m2})
+	second := ts2.submitAndWait(t, cfg)
+	ts2.shutdown(t)
+
+	if !bytes.Equal(first, second) {
+		t.Fatalf("disk-tier result differs:\n%s\nvs\n%s", first, second)
+	}
+	if got := m2.Counter("sweep.points_computed").Value(); got != 0 {
+		t.Fatalf("restart recomputed %d points, want 0", got)
+	}
+	if got := m2.Counter("cache.disk_hits").Value(); got != 1 {
+		t.Fatalf("disk_hits = %d, want 1", got)
+	}
+}
+
+func TestStreamEmitsTerminalEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	ts := startServer(t, Config{})
+	defer ts.shutdown(t)
+	code, body := ts.do(t, "POST", "/v1/sweeps", tinyConfig(5e9, 6e9))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var info jobs.Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.client.Get(ts.base + "/v1/sweeps/" + info.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var sawDone bool
+	var lastData string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") {
+			lastData = strings.TrimPrefix(line, "data: ")
+		}
+		if line == "event: done" {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Fatalf("no done event; last data %q", lastData)
+	}
+	var final jobs.Info
+	if err := json.Unmarshal([]byte(lastData), &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != jobs.StatusSucceeded || final.Done != 2 || final.Total != 2 {
+		t.Fatalf("final stream snapshot: %+v", final)
+	}
+}
+
+func TestShutdownShedsNewSubmissions(t *testing.T) {
+	ts := startServer(t, Config{})
+	ts.shutdown(t)
+	// The listener is closed after drain, so reach the handler directly.
+	req, _ := http.NewRequest("POST", "/v1/sweeps", bytes.NewReader(mustJSON(t, tinyConfig(5e9))))
+	rec := newRecorder()
+	ts.srv.Handler().ServeHTTP(rec, req)
+	if rec.status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit = %d, want 503", rec.status)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// recorder is a minimal ResponseWriter (httptest.NewRecorder also
+// works, but this keeps the Flusher assertion in handleStream honest
+// about what it needs).
+type recorder struct {
+	status int
+	header http.Header
+	buf    bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{header: http.Header{}} }
+
+func (r *recorder) Header() http.Header { return r.header }
+func (r *recorder) WriteHeader(s int)   { r.status = s }
+func (r *recorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.buf.Write(b)
+}

@@ -19,11 +19,13 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"roughsim/internal/quadrature"
 	"roughsim/internal/resilience"
 	"roughsim/internal/rng"
 	"roughsim/internal/specfun"
+	"roughsim/internal/telemetry"
 )
 
 // Evaluator maps KL coordinates ξ (length d) to the scalar quantity of
@@ -135,6 +137,9 @@ type Result struct {
 // Options tunes the collocation driver.
 type Options struct {
 	Workers int // parallel solver evaluations; default NumCPU
+	// Metrics, when non-nil, receives sscm.* telemetry (run and node
+	// counters, per-node evaluation latency).
+	Metrics *telemetry.Registry
 }
 
 // Run builds the order-p PCE of the evaluator over d KL coordinates,
@@ -163,6 +168,9 @@ func Run(ctx context.Context, d, order int, eval Evaluator, opt Options) (*Resul
 	if workers > grid.Len() {
 		workers = grid.Len()
 	}
+	opt.Metrics.Counter("sscm.runs").Inc()
+	opt.Metrics.Counter("sscm.nodes").Add(int64(grid.Len()))
+	nodeSeconds := opt.Metrics.Histogram("sscm.node_seconds")
 
 	// Evaluate the solver at every collocation node with a bounded pool.
 	vals := make([]float64, grid.Len())
@@ -174,7 +182,9 @@ func Run(ctx context.Context, d, order int, eval Evaluator, opt Options) (*Resul
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				start := time.Now()
 				vals[i], errs[i] = evalNode(eval, grid.Points[i].X, i)
+				nodeSeconds.Observe(time.Since(start).Seconds())
 			}
 		}()
 	}

@@ -1,0 +1,296 @@
+// Package telemetry is the observability layer of the service tier: a
+// small metrics registry (counters, gauges, histograms) shared by the
+// solver core, the stochastic drivers, the result cache and the job
+// queue, with an expvar-style JSON snapshot served at /metrics.
+//
+// The design constraints, in order:
+//
+//  1. Hot-path cost. Counters and histogram observations sit inside the
+//     per-sample solver loop, so every mutation is a single atomic op —
+//     no locks, no allocation after metric creation.
+//  2. Optionality. Every producer takes a *Registry that may be nil
+//     (library use without a service around it); all methods are
+//     nil-receiver safe no-ops, so call sites never branch.
+//  3. One place. The registry is handed down from roughsimd through the
+//     facade into core/sscm/montecarlo, so cache hit rate, queue depth,
+//     solve latency and fallback-stage counts are observable together.
+//
+// Metric names are flat dotted strings ("cache.hits", "solve.seconds");
+// the full catalogue is documented in DESIGN.md §8.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on a nil receiver).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float-valued metric that can move both ways (queue depth,
+// in-flight jobs). The value is stored as IEEE-754 bits in an atomic
+// word; Add uses a CAS loop.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v (no-op on a nil receiver).
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add offsets the gauge by dv (no-op on a nil receiver).
+func (g *Gauge) Add(dv float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + dv)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates observations into fixed cumulative buckets
+// (Prometheus-style "le" semantics) plus a running count and sum.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float bits, CAS-updated
+}
+
+// DefBuckets are the default latency buckets in seconds: 1 ms … ~524 s
+// in powers of two, wide enough for both a single Clenshaw-table solve
+// and a full high-resolution sweep.
+var DefBuckets = func() []float64 {
+	b := make([]float64, 20)
+	v := 1e-3
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// Observe records one sample (no-op on a nil receiver).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose bound is ≥ v; sort.SearchFloat64s is fine here
+	// (≤ ~20 bounds, branch-predictable), and the slice is immutable.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; construct with NewRegistry. A nil *Registry is a valid no-op
+// sink: Counter/Gauge/Histogram return nil metrics whose methods do
+// nothing.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram with
+// DefBuckets bounds.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = &Histogram{bounds: DefBuckets, counts: make([]atomic.Int64, len(DefBuckets))}
+	r.histograms[name] = h
+	return h
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     float64 `json:"sum"`
+	Buckets []struct {
+		LE    float64 `json:"le"`
+		Count int64   `json:"count"`
+	} `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every metric, shaped for JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current value of every metric. Nil registries
+// snapshot as empty.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			hs.Buckets = append(hs.Buckets, struct {
+				LE    float64 `json:"le"`
+				Count int64   `json:"count"`
+			}{b, cum})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Handler serves the registry snapshot as indented JSON — the /metrics
+// endpoint of roughsimd.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.Snapshot()); err != nil {
+			http.Error(w, fmt.Sprintf("telemetry: %v", err), http.StatusInternalServerError)
+		}
+	})
+}

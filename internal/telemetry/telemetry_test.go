@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("a.b").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(1)
+	if v := r.Counter("x").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d", v)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []float64{0.0005, 0.003, 0.003, 10, 1e9} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-(0.0005+0.003+0.003+10+1e9)) > 1e-6 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	s := r.Snapshot().Histograms["lat"]
+	// Cumulative counts must be monotone and end at ≤ Count (the 1e9
+	// observation lands in the implicit +Inf bucket).
+	prev := int64(0)
+	for _, b := range s.Buckets {
+		if b.Count < prev {
+			t.Fatalf("bucket counts not cumulative: %+v", s.Buckets)
+		}
+		prev = b.Count
+	}
+	if prev != 4 {
+		t.Fatalf("finite-bucket cumulative = %d, want 4", prev)
+	}
+}
+
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("c").Value(); v != 8000 {
+		t.Fatalf("counter = %d, want 8000", v)
+	}
+	if v := r.Gauge("g").Value(); v != 8000 {
+		t.Fatalf("gauge = %g, want 8000", v)
+	}
+	if v := r.Histogram("h").Count(); v != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", v)
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cache.hits").Add(3)
+	r.Gauge("queue.depth").Set(2)
+	r.Histogram("solve.seconds").Observe(0.25)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if s.Counters["cache.hits"] != 3 || s.Gauges["queue.depth"] != 2 {
+		t.Fatalf("snapshot round-trip: %+v", s)
+	}
+	if s.Histograms["solve.seconds"].Count != 1 {
+		t.Fatalf("histogram round-trip: %+v", s.Histograms)
+	}
+}

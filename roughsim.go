@@ -35,13 +35,14 @@ import (
 	"roughsim/internal/spm2"
 	"roughsim/internal/sscm"
 	"roughsim/internal/surface"
+	"roughsim/internal/telemetry"
 	"roughsim/internal/units"
 )
 
 // Stack is the two-medium material description.
 type Stack struct {
-	EpsR float64 // dielectric relative permittivity
-	Rho  float64 // conductor resistivity (Ω·m)
+	EpsR float64 `json:"eps_r"` // dielectric relative permittivity
+	Rho  float64 `json:"rho"`   // conductor resistivity (Ω·m)
 }
 
 // CopperSiO2 returns the paper's stack: copper (1.67 μΩ·cm) under SiO₂
@@ -67,14 +68,14 @@ const (
 
 // SurfaceSpec describes the random rough surface process.
 type SurfaceSpec struct {
-	Corr  CFKind
-	Sigma float64 // RMS height (m)
-	Eta   float64 // correlation length η (η₁ for MeasuredCF; ηx if EtaY set)
-	Eta2  float64 // second correlation length (MeasuredCF only)
+	Corr  CFKind  `json:"cf"`
+	Sigma float64 `json:"sigma"`          // RMS height (m)
+	Eta   float64 `json:"eta"`            // correlation length η (η₁ for MeasuredCF; ηx if EtaY set)
+	Eta2  float64 `json:"eta2,omitempty"` // second correlation length (MeasuredCF only)
 	// EtaY, when positive, selects an anisotropic (elliptical Gaussian)
 	// process with correlation lengths Eta along x and EtaY along y —
 	// e.g. rolled copper foils. Only valid with GaussianCF.
-	EtaY float64
+	EtaY float64 `json:"eta_y,omitempty"`
 }
 
 func (sp SurfaceSpec) corr() (surface.Corr, error) {
@@ -106,13 +107,14 @@ func (sp SurfaceSpec) corr() (surface.Corr, error) {
 type Accuracy struct {
 	// GridPerSide is the M×M patch grid (default 16; the paper's
 	// Δ = η/8 with L = 5η corresponds to 40).
-	GridPerSide int
+	GridPerSide int `json:"grid,omitempty"`
 	// PatchOverEta is L/η (default 5, the paper's choice).
-	PatchOverEta float64
+	PatchOverEta float64 `json:"patch_over_eta,omitempty"`
 	// StochasticDim is the KL truncation d (default 16, per Table I).
-	StochasticDim int
-	// Workers bounds parallelism (default: all CPUs).
-	Workers int
+	StochasticDim int `json:"dim,omitempty"`
+	// Workers bounds parallelism (default: all CPUs). Workers is an
+	// execution detail: it never enters cache keys or result content.
+	Workers int `json:"-"`
 }
 
 func (a Accuracy) withDefaults() Accuracy {
@@ -130,13 +132,24 @@ func (a Accuracy) withDefaults() Accuracy {
 
 // Simulation is a configured SWM solver over a random surface process.
 type Simulation struct {
-	stack  Stack
-	spec   SurfaceSpec
-	corr   surface.Corr
-	acc    Accuracy
-	solver *core.Solver
-	kl     *surface.KL
-	dim    int
+	stack   Stack
+	spec    SurfaceSpec
+	corr    surface.Corr
+	acc     Accuracy
+	solver  *core.Solver
+	kl      *surface.KL
+	dim     int
+	metrics *telemetry.Registry
+}
+
+// WithMetrics threads a telemetry registry through the simulation: the
+// underlying solver publishes solve.* metrics and every SSCM /
+// Monte-Carlo run publishes its driver metrics there. Call it before
+// the first solve; it returns the receiver for chaining.
+func (s *Simulation) WithMetrics(r *telemetry.Registry) *Simulation {
+	s.metrics = r
+	s.solver.Metrics = r
+	return s
 }
 
 // NewSimulation validates the configuration and builds the solver with
@@ -235,7 +248,7 @@ func (s *Simulation) SSCMCtx(ctx context.Context, f float64, order int) (*sscm.R
 	eval := func(xi []float64) (float64, error) {
 		return s.solver.LossFactorCtx(ctx, s.kl.Synthesize(xi), f)
 	}
-	return sscm.Run(ctx, s.dim, order, eval, sscm.Options{Workers: s.acc.Workers})
+	return sscm.Run(ctx, s.dim, order, eval, sscm.Options{Workers: s.acc.Workers, Metrics: s.metrics})
 }
 
 // MonteCarlo estimates the distribution of K at f by brute force over n
@@ -253,7 +266,7 @@ func (s *Simulation) MonteCarloCtx(ctx context.Context, f float64, n int, seed u
 		return s.solver.LossFactorCtx(ctx, s.kl.Synthesize(xi), f)
 	}
 	return montecarlo.Run(ctx, s.dim, n, eval, montecarlo.Options{
-		Workers: s.acc.Workers, Seed: seed, MaxFailFrac: maxFailFrac,
+		Workers: s.acc.Workers, Seed: seed, MaxFailFrac: maxFailFrac, Metrics: s.metrics,
 	})
 }
 

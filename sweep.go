@@ -1,0 +1,197 @@
+package roughsim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"roughsim/internal/rescache"
+	"roughsim/internal/resilience"
+)
+
+// This file defines the machine-readable sweep schema shared by
+// `roughsim -json` and the roughsimd HTTP API: both emit the same
+// SweepResult records, so CLI and service outputs are directly
+// diffable. It also defines the canonical content address of one K(f)
+// record — the cache key of internal/rescache — built from IEEE-754
+// float bits (never decimal formatting), so keys are bit-exact and
+// platform-stable.
+
+// cfNames is the wire vocabulary of CFKind (matching the CLI's -cf
+// flag values).
+var cfNames = map[CFKind]string{
+	GaussianCF:    "gaussian",
+	ExponentialCF: "exp",
+	MeasuredCF:    "measured",
+}
+
+// ParseCFKind maps a wire name ("gaussian", "exp", "measured") to its
+// CFKind.
+func ParseCFKind(s string) (CFKind, error) {
+	for k, name := range cfNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("roughsim: unknown correlation function %q", s)
+}
+
+// String returns the wire name of the kind.
+func (k CFKind) String() string {
+	if s, ok := cfNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("cf(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its wire name.
+func (k CFKind) MarshalJSON() ([]byte, error) {
+	s, ok := cfNames[k]
+	if !ok {
+		return nil, fmt.Errorf("roughsim: cannot marshal CF kind %d", int(k))
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON accepts a wire name.
+func (k *CFKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseCFKind(s)
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// SweepConfig is the full description of a K(f) sweep: material stack,
+// surface process, discretization accuracy and the frequency list. It
+// is the request body of the roughsimd API and the config echoed into
+// every SweepResult.
+type SweepConfig struct {
+	Stack Stack       `json:"stack"`
+	Spec  SurfaceSpec `json:"surface"`
+	Acc   Accuracy    `json:"accuracy"`
+	Freqs []float64   `json:"freqs_hz"`
+}
+
+// WithDefaults fills the zero-valued parts: a zero Stack becomes the
+// paper's copper/SiO₂ stack, and the Accuracy defaults match
+// NewSimulation's.
+func (c SweepConfig) WithDefaults() SweepConfig {
+	if c.Stack == (Stack{}) {
+		c.Stack = CopperSiO2()
+	}
+	c.Acc = c.Acc.withDefaults()
+	return c
+}
+
+// Validate checks the parts NewSimulation does not: the frequency list
+// must be non-empty, finite and positive.
+func (c SweepConfig) Validate() error {
+	if len(c.Freqs) == 0 {
+		return resilience.Errorf(resilience.KindInvalidInput, "roughsim.SweepConfig",
+			"sweep needs at least one frequency")
+	}
+	for i, f := range c.Freqs {
+		if !(f > 0) || f != f || f > 1e15 {
+			return resilience.Errorf(resilience.KindInvalidInput, "roughsim.SweepConfig",
+				"frequency %d out of domain: %g Hz", i, f)
+		}
+	}
+	return nil
+}
+
+// keySchemaVersion tags the canonical encoding; bump it whenever the
+// meaning or order of the encoded fields changes, so stale disk-tier
+// entries can never be misread as current results.
+const keySchemaVersion = 1
+
+// KeyAt returns the content address of the K(f) record this config
+// produces at frequency f: the SHA-256 of the canonical binary encoding
+// of every result-determining parameter (floats as IEEE-754 bits — see
+// rescache.Enc) plus the frequency. Workers is deliberately excluded
+// (an execution detail), and defaults are applied first so an explicit
+// grid of 16 and an elided one share a key.
+func (c SweepConfig) KeyAt(f float64) rescache.Key {
+	c = c.WithDefaults()
+	e := rescache.NewEnc()
+	e.Uint64(keySchemaVersion)
+	e.Float64(c.Stack.EpsR).Float64(c.Stack.Rho)
+	e.Int(int(c.Spec.Corr))
+	e.Float64(c.Spec.Sigma).Float64(c.Spec.Eta).Float64(c.Spec.Eta2).Float64(c.Spec.EtaY)
+	e.Int(c.Acc.GridPerSide).Float64(c.Acc.PatchOverEta).Int(c.Acc.StochasticDim)
+	e.Float64(f)
+	return e.Sum()
+}
+
+// SweepPoint is one frequency's record: the SWM mean loss factor next
+// to the analytic baselines, in SI units.
+type SweepPoint struct {
+	FreqHz     float64 `json:"freq_hz"`
+	SkinDepthM float64 `json:"skin_depth_m"`
+	KSWM       float64 `json:"k_swm"`
+	KSPM2      float64 `json:"k_spm2"`
+	KEmpirical float64 `json:"k_empirical"`
+}
+
+// SweepResult is the machine-readable outcome of a sweep — the record
+// schema shared by `roughsim -json` and the roughsimd result endpoint.
+type SweepResult struct {
+	Config SweepConfig  `json:"config"`
+	Points []SweepPoint `json:"points"`
+}
+
+// PointAt computes one frequency's SweepPoint: E[K] via first-order
+// SSCM plus the SPM2 and empirical baselines.
+func (s *Simulation) PointAt(ctx context.Context, f float64) (SweepPoint, error) {
+	k, err := s.MeanLossFactorCtx(ctx, f)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{
+		FreqHz:     f,
+		SkinDepthM: s.stack.SkinDepth(f),
+		KSWM:       k,
+		KSPM2:      s.SPM2LossFactor(f),
+		KEmpirical: s.EmpiricalLossFactor(f),
+	}, nil
+}
+
+// RunSweep executes the configured sweep directly (no cache, no queue
+// — the CLI path), checking ctx between frequencies.
+func RunSweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sim, err := NewSimulation(cfg.Stack, cfg.Spec, cfg.Acc)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunSweep(ctx, cfg.Freqs)
+}
+
+// RunSweep computes the SweepResult over freqs on an already-built
+// simulation, checking ctx between frequencies.
+func (s *Simulation) RunSweep(ctx context.Context, freqs []float64) (*SweepResult, error) {
+	cfg := SweepConfig{Stack: s.stack, Spec: s.spec, Acc: s.acc, Freqs: freqs}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &SweepResult{Config: cfg, Points: make([]SweepPoint, 0, len(freqs))}
+	for _, f := range freqs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pt, err := s.PointAt(ctx, f)
+		if err != nil {
+			return nil, fmt.Errorf("roughsim: sweep at f=%g: %w", f, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}

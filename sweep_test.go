@@ -1,0 +1,145 @@
+package roughsim
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestCFKindJSONRoundTrip(t *testing.T) {
+	for _, k := range []CFKind{GaussianCF, ExponentialCF, MeasuredCF} {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back CFKind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Fatalf("CF kind %v round-tripped to %v", k, back)
+		}
+	}
+	var k CFKind
+	if err := json.Unmarshal([]byte(`"triangular"`), &k); err == nil {
+		t.Fatal("unknown CF name must fail to unmarshal")
+	}
+	if _, err := json.Marshal(CFKind(99)); err == nil {
+		t.Fatal("unknown CF kind must fail to marshal")
+	}
+}
+
+func TestSweepConfigKeyProperties(t *testing.T) {
+	base := SweepConfig{
+		Spec:  SurfaceSpec{Corr: GaussianCF, Sigma: 1e-6, Eta: 1e-6},
+		Freqs: []float64{5e9},
+	}
+	// Deterministic.
+	if base.KeyAt(5e9) != base.KeyAt(5e9) {
+		t.Fatal("key must be deterministic")
+	}
+	// Defaults collapse: explicit defaults share the key with elided ones.
+	explicit := base
+	explicit.Stack = CopperSiO2()
+	explicit.Acc = Accuracy{GridPerSide: 16, PatchOverEta: 5, StochasticDim: 16}
+	if base.KeyAt(5e9) != explicit.KeyAt(5e9) {
+		t.Fatal("defaulted and explicit-default configs must share a key")
+	}
+	// Workers is an execution detail: it must not change the key.
+	w := explicit
+	w.Acc.Workers = 3
+	if w.KeyAt(5e9) != explicit.KeyAt(5e9) {
+		t.Fatal("Workers must not affect the key")
+	}
+	// Every result-affecting parameter must change the key.
+	variants := []SweepConfig{}
+	v := base
+	v.Spec.Sigma = 2e-6
+	variants = append(variants, v)
+	v = base
+	v.Spec.Eta = 2e-6
+	variants = append(variants, v)
+	v = base
+	v.Spec.Corr = ExponentialCF
+	variants = append(variants, v)
+	v = base
+	v.Acc.GridPerSide = 20
+	variants = append(variants, v)
+	v = base
+	v.Stack = Stack{EpsR: 4.2, Rho: 1.67e-8}
+	variants = append(variants, v)
+	for i, vc := range variants {
+		if vc.KeyAt(5e9) == base.KeyAt(5e9) {
+			t.Fatalf("variant %d must not collide with base", i)
+		}
+	}
+	if base.KeyAt(5e9) == base.KeyAt(6e9) {
+		t.Fatal("frequency must be part of the key")
+	}
+	// Bit-exactness: a value that differs in the last ulp gets its own key.
+	v = base
+	v.Spec.Sigma = math.Nextafter(1e-6, 1)
+	if v.KeyAt(5e9) == base.KeyAt(5e9) {
+		t.Fatal("adjacent float configs must not collide")
+	}
+}
+
+func TestSweepConfigValidate(t *testing.T) {
+	ok := SweepConfig{Spec: SurfaceSpec{Corr: GaussianCF, Sigma: 1e-6, Eta: 1e-6}, Freqs: []float64{1e9}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, freqs := range [][]float64{nil, {0}, {-1e9}, {math.NaN()}, {1e16}} {
+		bad := ok
+		bad.Freqs = freqs
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("freqs %v must be rejected", freqs)
+		}
+	}
+}
+
+func TestRunSweepJSONSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	cfg := SweepConfig{
+		Spec:  SurfaceSpec{Corr: GaussianCF, Sigma: 0.4e-6, Eta: 1e-6},
+		Acc:   Accuracy{GridPerSide: 8, StochasticDim: 2},
+		Freqs: []float64{5e9},
+	}
+	res, err := RunSweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("points: %d", len(res.Points))
+	}
+	p := res.Points[0]
+	if p.FreqHz != 5e9 || !(p.KSWM > 1) || !(p.SkinDepthM > 0) {
+		t.Fatalf("point %+v", p)
+	}
+	// The JSON output round-trips bit-exactly (Go's shortest-round-trip
+	// float formatting) — CLI and server emissions stay diffable.
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SweepResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Points[0] != p {
+		t.Fatalf("round-trip changed the record: %+v vs %+v", back.Points[0], p)
+	}
+	if back.Config.Spec.Sigma != cfg.Spec.Sigma {
+		t.Fatalf("config round-trip: %+v", back.Config)
+	}
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatal("re-marshal must be byte-identical")
+	}
+}
