@@ -83,7 +83,7 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := sim.RunSweep(ctx, freqs)
+	res, err := sim.RunSweepBatched(ctx, freqs)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "%v (stopped after %v)\n", err, time.Since(start).Round(time.Millisecond))

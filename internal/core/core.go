@@ -96,15 +96,30 @@ type Solver struct {
 
 	key uint64 // running solve counter, the injector key
 
-	mu       sync.Mutex
-	flatPabs map[flatKey]float64
-	tables   map[float64]*mom.TableSet
-	stats    SolveStats
+	// tables caches the per-frequency Green's-function table sets. It
+	// defaults to a private cache and can be replaced (before the first
+	// solve) by a shared one, so sweep points, solvers and roughsimd
+	// jobs at overlapping frequencies build each table exactly once.
+	tables *mom.TableCache
+
+	mu        sync.Mutex
+	flatPabs  map[flatKey]float64
+	flatCalls map[flatKey]*flatCall
+	stats     SolveStats
 }
 
 type flatKey struct {
 	f  float64
 	tw bool // 2D (profile) reference
+}
+
+// flatCall is one in-flight flat-reference solve; waiters share it
+// instead of duplicating the solve (N concurrent collocation nodes at a
+// new frequency would otherwise each solve the same flat system).
+type flatCall struct {
+	done chan struct{}
+	v    float64
+	err  error
 }
 
 // NewSolver builds a Solver for an L-periodic patch with an M×M grid.
@@ -114,7 +129,8 @@ func NewSolver(mat Material, L float64, M int, opt mom.Options) (*Solver, error)
 			"needs L > 0, M ≥ 2 (got L=%g, M=%d)", L, M)
 	}
 	return &Solver{Mat: mat, L: L, M: M, Opt: opt,
-		flatPabs: map[flatKey]float64{}, tables: map[float64]*mom.TableSet{}}, nil
+		flatPabs: map[flatKey]float64{}, flatCalls: map[flatKey]*flatCall{},
+		tables: mom.NewTableCache(0, nil)}, nil
 }
 
 // NewSolverTabulated builds a Solver that assembles through per-frequency
@@ -194,24 +210,49 @@ func (s *Solver) solve(ctx context.Context, sys *mom.System) (*mom.Solution, err
 	return sol, nil
 }
 
-// tableFor returns (building on first use) the frequency's table set.
-func (s *Solver) tableFor(f float64) *mom.TableSet {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if t, ok := s.tables[f]; ok {
-		return t
+// TableCache returns the solver's Green's-function table cache.
+func (s *Solver) TableCache() *mom.TableCache { return s.tables }
+
+// SetTableCache replaces the solver's private table cache by a shared
+// one. Call it before the first solve.
+func (s *Solver) SetTableCache(tc *mom.TableCache) {
+	if tc != nil {
+		s.tables = tc
 	}
-	t := mom.NewTableSet(s.Mat.Params(f), s.L, s.M, s.ZSpan, s.Opt)
-	s.tables[f] = t
-	return t
+}
+
+// tableFor returns (building on first use, single-flighted across
+// callers) the frequency's table set. The build runs outside any solver
+// lock, so tables for distinct frequencies build in parallel.
+func (s *Solver) tableFor(f float64) *mom.TableSet {
+	return s.tables.Get(s.Mat.Params(f), s.L, s.M, s.ZSpan, s.Opt)
 }
 
 // assemble picks the exact or tabulated path.
 func (s *Solver) assemble(surf *surface.Surface, f float64) (*mom.System, error) {
-	if s.ZSpan > 0 {
-		return mom.AssembleTabulated(surf, s.Mat.Params(f), s.tableFor(f), s.Opt)
+	return s.AssembleSurface(surf, f, 0)
+}
+
+// AssembleSurface assembles the MoM system for surf at f through the
+// solver's configured path (tabulated when ZSpan > 0). workers > 0
+// overrides the solver's assembly parallelism — the batched sweep
+// engine splits its worker budget across concurrent points.
+func (s *Solver) AssembleSurface(surf *surface.Surface, f float64, workers int) (*mom.System, error) {
+	opt := s.Opt
+	if workers > 0 {
+		opt.Workers = workers
 	}
-	return mom.Assemble(surf, s.Mat.Params(f), s.Opt), nil
+	if s.ZSpan > 0 {
+		return mom.AssembleTabulated(surf, s.Mat.Params(f), s.tableFor(f), opt)
+	}
+	return mom.Assemble(surf, s.Mat.Params(f), opt), nil
+}
+
+// SolveSystem runs the resilient fallback chain on a system assembled
+// against this solver's discretization, folding the per-stage report
+// into the solver's aggregate stats.
+func (s *Solver) SolveSystem(ctx context.Context, sys *mom.System) (*mom.Solution, error) {
+	return s.solve(ctx, sys)
 }
 
 // FlatPabs returns (computing and caching on first use) the numerically
@@ -220,16 +261,47 @@ func (s *Solver) FlatPabs(f float64) (float64, error) {
 	return s.FlatPabsCtx(context.Background(), f)
 }
 
-// FlatPabsCtx is FlatPabs honoring cancellation.
+// FlatPabsCtx is FlatPabs honoring cancellation. Concurrent callers at
+// the same frequency share a single solve (errors are not cached: every
+// waiter of a failed solve receives the error and the next call
+// retries). A waiter whose own ctx expires stops waiting with its ctx
+// error while the computation continues for the others.
 func (s *Solver) FlatPabsCtx(ctx context.Context, f float64) (float64, error) {
+	key := flatKey{f, false}
 	s.mu.Lock()
-	if v, ok := s.flatPabs[flatKey{f, false}]; ok {
+	if v, ok := s.flatPabs[key]; ok {
 		s.mu.Unlock()
 		s.Metrics.Counter("core.flat_hits").Inc()
 		return v, nil
 	}
+	if cl, ok := s.flatCalls[key]; ok {
+		s.mu.Unlock()
+		s.Metrics.Counter("core.flat_shared").Inc()
+		select {
+		case <-cl.done:
+			return cl.v, cl.err
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	cl := &flatCall{done: make(chan struct{})}
+	s.flatCalls[key] = cl
 	s.mu.Unlock()
 	s.Metrics.Counter("core.flat_solves").Inc()
+
+	cl.v, cl.err = s.flatSolve(ctx, f)
+	s.mu.Lock()
+	delete(s.flatCalls, key)
+	if cl.err == nil {
+		s.flatPabs[key] = cl.v
+	}
+	s.mu.Unlock()
+	close(cl.done)
+	return cl.v, cl.err
+}
+
+// flatSolve runs the flat-reference assembly and solve at f.
+func (s *Solver) flatSolve(ctx context.Context, f float64) (float64, error) {
 	sys, err := s.assemble(surface.NewFlat(s.L, s.M), f)
 	if err != nil {
 		return 0, fmt.Errorf("core: flat reference at f=%g: %w", f, err)
@@ -238,9 +310,6 @@ func (s *Solver) FlatPabsCtx(ctx context.Context, f float64) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: flat reference at f=%g: %w", f, err)
 	}
-	s.mu.Lock()
-	s.flatPabs[flatKey{f, false}] = sol.Pabs
-	s.mu.Unlock()
 	return sol.Pabs, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"roughsim/internal/resilience"
 	"roughsim/internal/rng"
 	"roughsim/internal/surface"
+	"roughsim/internal/telemetry"
 	"roughsim/internal/units"
 )
 
@@ -236,5 +237,39 @@ func TestLossFactor2DFlatIsUnity(t *testing.T) {
 	}
 	if math.Abs(k-1) > 1e-9 {
 		t.Fatalf("flat profile K = %g, want exactly 1 (same solve)", k)
+	}
+}
+
+func TestFlatPabsSingleFlightMetrics(t *testing.T) {
+	s, err := NewSolver(PaperMaterial(), 5*um, 8, mom.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.NewRegistry()
+	s.Metrics = m
+	f := 4 * units.GHz
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.FlatPabsCtx(context.Background(), f); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("core.flat_solves").Value(); got != 1 {
+		t.Fatalf("flat_solves = %d, want 1", got)
+	}
+	if got := m.Counter("core.flat_hits").Value() + m.Counter("core.flat_shared").Value(); got != callers-1 {
+		t.Fatalf("hits+shared = %d, want %d", got, callers-1)
+	}
+	if _, err := s.FlatPabsCtx(context.Background(), f); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("core.flat_solves").Value(); got != 1 {
+		t.Fatalf("flat_solves after warm call = %d, want 1", got)
 	}
 }

@@ -266,6 +266,19 @@ func (sys *System) solutionFrom(x []complex128) *Solution {
 	return sol
 }
 
+// RHSVector returns the incident-field right-hand side of the SWM
+// system for surf: e^{−jk₁·f_i} on the ψ block, zero on the u block —
+// the same vector Assemble fills. It is the only frequency-dependent
+// part of the system outside the matrix, so the batched sweep engine
+// recomputes it exactly at frequencies whose matrix is interpolated.
+func RHSVector(s *surface.Surface, p Params) []complex128 {
+	rhs := make([]complex128, 2*len(s.H))
+	for i, z := range s.H {
+		rhs[i] = cmplx.Exp(complex(0, -1) * p.K1 * complex(z, 0))
+	}
+	return rhs
+}
+
 // FlatTransmission returns the analytic flat-interface solution of the
 // two-medium scalar problem under unit normal incidence:
 // reflection R = (1−ζ)/(1+ζ) and transmission T = 2/(1+ζ) with

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"runtime"
 	"sync"
 
 	"roughsim/internal/cmplxmat"
@@ -136,7 +135,7 @@ func newTabulated(g *greens.Periodic3D, L float64, M int, zspan float64, opt Opt
 	t.nearTab = make([][4][]complex128, t.nearDim*t.nearDim)
 
 	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
+	workers := opt.Workers
 	jobs := make(chan int)
 	samples := func(dx, dy float64) [4][]complex128 {
 		var smp [4][]complex128

@@ -1,0 +1,158 @@
+package mom
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roughsim/internal/telemetry"
+)
+
+// TableKey identifies one TableSet: every input NewTableSet folds into
+// the tables. Options.Workers is deliberately excluded — it is an
+// execution detail that never changes table content — so solvers with
+// different parallelism budgets share entries.
+type TableKey struct {
+	P     Params
+	L     float64
+	M     int
+	ZSpan float64
+	Near  int
+	Sub   int
+}
+
+// TableCache is a bounded, concurrency-safe cache of Green's-function
+// table sets, shared across sweep frequencies, solvers and (in
+// roughsimd) jobs. Concurrent requests for the same key are
+// single-flighted: one caller builds (outside the cache lock, so builds
+// for distinct frequencies proceed in parallel), the rest wait and
+// share the result. Eviction is LRU by table count.
+//
+// Telemetry (tables.hits / tables.misses / tables.shared /
+// tables.built / tables.evictions counters, tables.build_seconds
+// histogram, tables.entries gauge) goes to the registry set via
+// SetMetrics; a nil registry disables instrumentation.
+type TableCache struct {
+	capacity int
+	metrics  atomic.Pointer[telemetry.Registry]
+	builds   atomic.Int64
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[TableKey]*list.Element
+	calls map[TableKey]*tableCall
+}
+
+type tableEntry struct {
+	key TableKey
+	ts  *TableSet
+}
+
+type tableCall struct {
+	done chan struct{}
+	ts   *TableSet
+}
+
+// DefaultTableCacheCap bounds a cache built with capacity ≤ 0. Table
+// sets are a few MB each at production grids, so the default keeps the
+// worst case well under typical service memory.
+const DefaultTableCacheCap = 32
+
+// NewTableCache builds a cache holding up to capacity table sets
+// (DefaultTableCacheCap when capacity ≤ 0).
+func NewTableCache(capacity int, m *telemetry.Registry) *TableCache {
+	if capacity <= 0 {
+		capacity = DefaultTableCacheCap
+	}
+	c := &TableCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[TableKey]*list.Element{},
+		calls:    map[TableKey]*tableCall{},
+	}
+	c.SetMetrics(m)
+	return c
+}
+
+// SetMetrics points the cache's instrumentation at r (nil disables it).
+// Safe to call concurrently with Get.
+func (c *TableCache) SetMetrics(r *telemetry.Registry) {
+	if r != nil {
+		c.metrics.Store(r)
+	}
+}
+
+func (c *TableCache) reg() *telemetry.Registry { return c.metrics.Load() }
+
+// Len returns the number of cached table sets.
+func (c *TableCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Builds returns how many table sets this cache has constructed — the
+// quantity the dedup tests assert on (one build per distinct key, no
+// matter how many concurrent callers).
+func (c *TableCache) Builds() int64 { return c.builds.Load() }
+
+// Get returns the table set for the given assembly inputs, building it
+// at most once across all concurrent callers. Waiters block until the
+// builder finishes (NewTableSet is not cancellable; the wait is bounded
+// by one build).
+func (c *TableCache) Get(p Params, L float64, M int, zspan float64, opt Options) *TableSet {
+	opt = opt.withDefaults()
+	key := TableKey{P: p, L: L, M: M, ZSpan: zspan, Near: opt.NearRadius, Sub: opt.NearSubdiv}
+
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		ts := el.Value.(*tableEntry).ts
+		c.mu.Unlock()
+		c.reg().Counter("tables.hits").Inc()
+		return ts
+	}
+	if cl, ok := c.calls[key]; ok {
+		c.mu.Unlock()
+		c.reg().Counter("tables.shared").Inc()
+		<-cl.done
+		return cl.ts
+	}
+	cl := &tableCall{done: make(chan struct{})}
+	c.calls[key] = cl
+	c.mu.Unlock()
+	c.reg().Counter("tables.misses").Inc()
+
+	start := time.Now()
+	ts := NewTableSet(p, L, M, zspan, opt)
+	c.builds.Add(1)
+	c.reg().Counter("tables.built").Inc()
+	c.reg().Histogram("tables.build_seconds").Observe(time.Since(start).Seconds())
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	c.insertLocked(key, ts)
+	c.mu.Unlock()
+	cl.ts = ts
+	close(cl.done)
+	return ts
+}
+
+// insertLocked adds the table to the LRU, evicting past capacity.
+// Caller holds c.mu.
+func (c *TableCache) insertLocked(key TableKey, ts *TableSet) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*tableEntry).ts = ts
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&tableEntry{key: key, ts: ts})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*tableEntry).key)
+		c.reg().Counter("tables.evictions").Inc()
+	}
+	c.reg().Gauge("tables.entries").Set(float64(c.ll.Len()))
+}

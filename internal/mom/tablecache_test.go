@@ -1,0 +1,137 @@
+package mom
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"roughsim/internal/rng"
+	"roughsim/internal/surface"
+	"roughsim/internal/units"
+)
+
+// TestNewTabulatedHonorsWorkers is the regression test for the table
+// builder ignoring Options.Workers: building with Workers=1 and with
+// the full CPU count must produce bitwise-identical tables (each worker
+// writes disjoint columns), and therefore bitwise-identical assembled
+// systems.
+func TestNewTabulatedHonorsWorkers(t *testing.T) {
+	c := surface.NewGaussianCorr(1*um, 1*um)
+	L := 5 * um
+	m := 6
+	kl := surface.NewKL(c, L, m)
+	surf := kl.Sample(rng.New(7))
+	p := paramsAt(5 * units.GHz)
+
+	one := NewTableSet(p, L, m, 8*um, Options{Workers: 1})
+	all := NewTableSet(p, L, m, 8*um, Options{Workers: runtime.NumCPU()})
+
+	for mi, pair := range [][2]*tabulated{{one.g1, all.g1}, {one.g2, all.g2}} {
+		a, b := pair[0], pair[1]
+		for i := range a.far {
+			for q := 0; q < 4; q++ {
+				for k := range a.far[i][q] {
+					if a.far[i][q][k] != b.far[i][q][k] {
+						t.Fatalf("medium %d far table differs at [%d][%d][%d]", mi+1, i, q, k)
+					}
+				}
+			}
+		}
+		for i := range a.nearTab {
+			for q := 0; q < 4; q++ {
+				for k := range a.nearTab[i][q] {
+					if a.nearTab[i][q][k] != b.nearTab[i][q][k] {
+						t.Fatalf("medium %d near table differs at [%d][%d][%d]", mi+1, i, q, k)
+					}
+				}
+			}
+		}
+	}
+
+	s1, err := AssembleTabulated(surf, p, one, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := AssembleTabulated(surf, p, all, Options{Workers: runtime.NumCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1.Matrix.Data {
+		if s1.Matrix.Data[i] != sn.Matrix.Data[i] {
+			t.Fatalf("assembled matrix differs at %d: %v vs %v", i, s1.Matrix.Data[i], sn.Matrix.Data[i])
+		}
+	}
+	for i := range s1.RHS {
+		if s1.RHS[i] != sn.RHS[i] {
+			t.Fatalf("assembled RHS differs at %d", i)
+		}
+	}
+}
+
+// TestTableCacheSingleFlight hammers one key from many goroutines and
+// checks the cache built exactly once and every caller shares the same
+// TableSet; a second frequency costs exactly one more build, and
+// Workers (an execution detail) never splits the key.
+func TestTableCacheSingleFlight(t *testing.T) {
+	tc := NewTableCache(4, nil)
+	p := paramsAt(5 * units.GHz)
+	L, m, zspan := 5*um, 6, 2*um
+
+	const callers = 8
+	got := make([]*TableSet, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = tc.Get(p, L, m, zspan, Options{Workers: 1 + i%2})
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d received a different TableSet", i)
+		}
+	}
+	if b := tc.Builds(); b != 1 {
+		t.Fatalf("builds = %d, want 1", b)
+	}
+
+	if ts2 := tc.Get(paramsAt(6*units.GHz), L, m, zspan, Options{}); ts2 == got[0] {
+		t.Fatal("distinct frequency shared a table set")
+	}
+	if b := tc.Builds(); b != 2 {
+		t.Fatalf("builds after second frequency = %d, want 2", b)
+	}
+	if n := tc.Len(); n != 2 {
+		t.Fatalf("len = %d, want 2", n)
+	}
+}
+
+// TestTableCacheLRUEviction fills a capacity-2 cache with three keys
+// and checks the least-recently-used one is evicted (so re-requesting
+// it rebuilds) while the recently-touched one survives.
+func TestTableCacheLRUEviction(t *testing.T) {
+	tc := NewTableCache(2, nil)
+	L, m, zspan := 5*um, 6, 2*um
+	opt := Options{Workers: 1}
+	f1, f2, f3 := paramsAt(4*units.GHz), paramsAt(5*units.GHz), paramsAt(6*units.GHz)
+
+	ts1 := tc.Get(f1, L, m, zspan, opt)
+	tc.Get(f2, L, m, zspan, opt)
+	tc.Get(f1, L, m, zspan, opt) // touch f1 → f2 becomes LRU
+	tc.Get(f3, L, m, zspan, opt) // evicts f2
+	if n := tc.Len(); n != 2 {
+		t.Fatalf("len = %d, want 2", n)
+	}
+	if b := tc.Builds(); b != 3 {
+		t.Fatalf("builds = %d, want 3", b)
+	}
+	if got := tc.Get(f1, L, m, zspan, opt); got != ts1 {
+		t.Fatal("f1 should have survived eviction")
+	}
+	tc.Get(f2, L, m, zspan, opt) // rebuild of the evicted entry
+	if b := tc.Builds(); b != 4 {
+		t.Fatalf("builds after re-request = %d, want 4", b)
+	}
+}

@@ -102,6 +102,49 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
+// Get probes the memory tier, then the disk tier, without computing.
+// A disk hit is promoted into the memory tier. The batched sweep path
+// uses Get to split a sweep into cached and missing points before
+// handing the missing ones to the engine as one unit.
+func (c *Cache) Get(key Key) (any, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		c.hits.Inc()
+		return v, true
+	}
+	c.mu.Unlock()
+	if c.opt.Dir != "" {
+		if b, err := os.ReadFile(c.path(key)); err == nil {
+			if v, derr := c.opt.Codec.Decode(b); derr == nil {
+				c.diskHits.Inc()
+				c.mu.Lock()
+				c.insertLocked(key, v)
+				c.mu.Unlock()
+				return v, true
+			}
+			c.diskErrors.Inc()
+		}
+	}
+	c.misses.Inc()
+	return nil, false
+}
+
+// Put inserts a computed value into the memory tier (and the disk tier
+// when enabled), as if GetOrCompute had computed it.
+func (c *Cache) Put(key Key, v any) {
+	if c.opt.Dir != "" {
+		if err := c.writeDisk(key, v); err != nil {
+			c.diskErrors.Inc()
+		}
+	}
+	c.mu.Lock()
+	c.insertLocked(key, v)
+	c.mu.Unlock()
+}
+
 // GetOrCompute returns the value for key, computing it at most once
 // across all concurrent callers. cached reports whether the value came
 // from a tier or a shared in-flight computation rather than this

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"roughsim"
+	"roughsim/internal/jobs"
+)
+
+// TestConcurrentSweepsShareTableBuilds submits two concurrent sweeps
+// with overlapping frequency grids and asserts the server-wide table
+// cache built exactly one Green's-function table set per distinct
+// frequency — the cross-job reuse the batched engine is wired for.
+func TestConcurrentSweepsShareTableBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	ts := startServer(t, Config{Workers: 2, QueueDepth: 8, CacheSize: 64})
+	defer ts.shutdown(t)
+
+	a := tinyConfig(4e9, 5e9)
+	b := tinyConfig(5e9, 6e9)
+	var wg sync.WaitGroup
+	results := make([][]byte, 2)
+	for i, cfg := range []roughsim.SweepConfig{a, b} {
+		wg.Add(1)
+		go func(i int, cfg roughsim.SweepConfig) {
+			defer wg.Done()
+			results[i] = ts.submitAndWait(t, cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+
+	// Three distinct frequencies across both sweeps (4, 5, 6 GHz) →
+	// exactly three table builds, however the two jobs interleave.
+	if got := ts.srv.tables.Builds(); got != 3 {
+		t.Fatalf("table builds = %d, want 3 (one per distinct frequency)", got)
+	}
+
+	// The shared 5 GHz point must agree bitwise between the two jobs:
+	// same surfaces, same tables, same deterministic solve chain.
+	var ra, rb roughsim.SweepResult
+	if err := json.Unmarshal(results[0], &ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(results[1], &rb); err != nil {
+		t.Fatal(err)
+	}
+	if ra.Points[1].FreqHz != 5e9 || rb.Points[0].FreqHz != 5e9 {
+		t.Fatalf("unexpected point order: %+v / %+v", ra.Points, rb.Points)
+	}
+	if ra.Points[1].KSWM != rb.Points[0].KSWM {
+		t.Fatalf("shared frequency diverged: %v vs %v", ra.Points[1].KSWM, rb.Points[0].KSWM)
+	}
+}
+
+// TestStreamClientDisconnectNoLeak opens SSE streams onto a job that
+// never finishes, disconnects the clients, and asserts every stream
+// handler goroutine unwinds while the job is still running.
+func TestStreamClientDisconnectNoLeak(t *testing.T) {
+	ts := startServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	release := make(chan struct{})
+	j, err := ts.srv.queue.Submit(func(ctx context.Context, progress func(done, total int)) (any, error) {
+		progress(0, 1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := j.Snapshot().ID
+	// Wait until the job is running so the streams have something
+	// non-terminal to watch.
+	for j.Snapshot().Status == jobs.StatusQueued {
+		time.Sleep(time.Millisecond)
+	}
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	const streams = 4
+	cancels := make([]context.CancelFunc, 0, streams)
+	bodies := make([]*http.Response, 0, streams)
+	for i := 0; i < streams; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels = append(cancels, cancel)
+		req, err := http.NewRequestWithContext(ctx, "GET", ts.base+"/v1/sweeps/"+id+"/stream", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, resp)
+		// Read the first progress event so the handler is provably
+		// inside its watch loop before we disconnect.
+		buf := make([]byte, 1)
+		if _, err := resp.Body.Read(buf); err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+	}
+	for _, cancel := range cancels {
+		cancel()
+	}
+	for _, resp := range bodies {
+		resp.Body.Close()
+	}
+
+	// Every handler (and its HTTP conn goroutines) must unwind even
+	// though the job itself is still blocked.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		ts.client.CloseIdleConnections()
+		if n := runtime.NumGoroutine(); n <= baseline+1 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("stream goroutines leaked: %d > baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s := j.Snapshot().Status; s.Terminal() {
+		t.Fatalf("job unexpectedly terminal: %s", s)
+	}
+
+	close(release)
+	ts.shutdown(t)
+}

@@ -44,6 +44,10 @@ type Config struct {
 	JobTimeout time.Duration // per-job deadline (default none)
 	CacheSize  int           // memory-tier entries (default 4096)
 	CacheDir   string        // disk tier directory ("" disables)
+	// TableCacheSize bounds the shared Green's-function table cache
+	// (table sets across all jobs and configs; default a service-sized
+	// cap — see roughsim.NewTableCache).
+	TableCacheSize int
 	// Limits guard the service against pathological requests.
 	MaxGrid  int // largest accepted GridPerSide (default 64)
 	MaxDim   int // largest accepted StochasticDim (default 32)
@@ -86,12 +90,30 @@ type Server struct {
 	mux     *http.ServeMux
 	http    *http.Server
 
-	// sims memoizes constructed simulations (KL modes + Green's-function
-	// tables are expensive) keyed by the frequency-independent part of
-	// the config. Bounded by simCacheCap with whole-map reset — solver
-	// configs are few in practice.
+	// tables is the shared Green's-function table cache: every
+	// simulation the server builds attaches to it, so concurrent sweeps
+	// at overlapping frequency grids build each table exactly once.
+	tables *roughsim.TableCache
+
+	// sims memoizes constructed simulations (KL modes are expensive)
+	// keyed by the frequency-independent part of the config. Bounded by
+	// simCacheCap with whole-map reset — solver configs are few in
+	// practice.
 	simMu sync.Mutex
 	sims  map[rescache.Key]*roughsim.Simulation
+
+	// flights single-flight identical concurrent sweep jobs (keyed by
+	// the whole-sweep content address): one job computes, the rest wait
+	// and share the result.
+	flightMu sync.Mutex
+	flights  map[rescache.Key]*sweepFlight
+}
+
+// sweepFlight is one in-flight sweep computation.
+type sweepFlight struct {
+	done chan struct{}
+	res  *roughsim.SweepResult
+	err  error
 }
 
 const simCacheCap = 32
@@ -133,7 +155,9 @@ func New(cfg Config) (*Server, error) {
 		cache:   cache,
 		metrics: cfg.Metrics,
 		mux:     http.NewServeMux(),
+		tables:  roughsim.NewTableCache(cfg.TableCacheSize, cfg.Metrics),
 		sims:    map[rescache.Key]*roughsim.Simulation{},
+		flights: map[rescache.Key]*sweepFlight{},
 	}
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
@@ -190,7 +214,7 @@ func (s *Server) simFor(cfg roughsim.SweepConfig) (*roughsim.Simulation, error) 
 	if err != nil {
 		return nil, err
 	}
-	sim.WithMetrics(s.metrics)
+	sim.WithMetrics(s.metrics).WithTableCache(s.tables)
 	if len(s.sims) >= simCacheCap {
 		s.sims = map[rescache.Key]*roughsim.Simulation{}
 	}
@@ -198,33 +222,89 @@ func (s *Server) simFor(cfg roughsim.SweepConfig) (*roughsim.Simulation, error) 
 	return sim, nil
 }
 
-// runSweep is the job body: one cache lookup (and at most one solve,
-// globally, thanks to single-flight) per frequency.
+// runSweep is the job body: the whole sweep executes as one planned
+// unit. Identical concurrent jobs are single-flighted at sweep
+// granularity, already-cached points are served from the result cache,
+// and only the missing frequencies go to the batched engine — which
+// shares collocation surfaces and Green's-function tables across them
+// (and, through the server-wide table cache, across jobs).
 func (s *Server) runSweep(cfg roughsim.SweepConfig) jobs.Runner {
 	return func(ctx context.Context, progress func(done, total int)) (any, error) {
-		res := &roughsim.SweepResult{Config: cfg, Points: make([]roughsim.SweepPoint, 0, len(cfg.Freqs))}
-		progress(0, len(cfg.Freqs))
-		for i, f := range cfg.Freqs {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			f := f
-			v, _, err := s.cache.GetOrCompute(ctx, cfg.KeyAt(f), func(ctx context.Context) (any, error) {
-				sim, err := s.simFor(cfg)
-				if err != nil {
-					return nil, err
+		total := len(cfg.Freqs)
+		progress(0, total)
+		key := cfg.Key()
+		s.flightMu.Lock()
+		if fl, ok := s.flights[key]; ok {
+			s.flightMu.Unlock()
+			s.metrics.Counter("cache.singleflight_shared").Inc()
+			select {
+			case <-fl.done:
+				if fl.err != nil {
+					return nil, fl.err
 				}
-				s.metrics.Counter("sweep.points_computed").Inc()
-				return sim.PointAt(ctx, f)
-			})
-			if err != nil {
-				return nil, fmt.Errorf("server: sweep at f=%g: %w", f, err)
+				progress(total, total)
+				return fl.res, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
 			}
-			res.Points = append(res.Points, v.(roughsim.SweepPoint))
-			progress(i+1, len(cfg.Freqs))
 		}
-		return res, nil
+		fl := &sweepFlight{done: make(chan struct{})}
+		s.flights[key] = fl
+		s.flightMu.Unlock()
+
+		fl.res, fl.err = s.computeSweep(ctx, cfg, progress)
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(fl.done)
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		return fl.res, nil
 	}
+}
+
+// computeSweep resolves each frequency from the result cache and runs
+// the batched engine over the rest, writing fresh points back through
+// both cache tiers.
+func (s *Server) computeSweep(ctx context.Context, cfg roughsim.SweepConfig, progress func(done, total int)) (*roughsim.SweepResult, error) {
+	total := len(cfg.Freqs)
+	points := make([]roughsim.SweepPoint, total)
+	missing := make([]int, 0, total)
+	for i, f := range cfg.Freqs {
+		if v, ok := s.cache.Get(cfg.KeyAt(f)); ok {
+			points[i] = v.(roughsim.SweepPoint)
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	cached := total - len(missing)
+	progress(cached, total)
+	if len(missing) > 0 {
+		sim, err := s.simFor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		mf := make([]float64, len(missing))
+		for k, idx := range missing {
+			mf[k] = cfg.Freqs[idx]
+		}
+		pts, err := sim.SweepPoints(ctx, mf, func(done, mt int) {
+			if mt > 0 {
+				progress(cached+done*len(missing)/mt, total)
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: sweep: %w", err)
+		}
+		for k, idx := range missing {
+			s.metrics.Counter("sweep.points_computed").Inc()
+			s.cache.Put(cfg.KeyAt(mf[k]), pts[k])
+			points[idx] = pts[k]
+		}
+	}
+	progress(total, total)
+	return &roughsim.SweepResult{Config: cfg, Points: points}, nil
 }
 
 // validate applies the service limits on top of SweepConfig.Validate.
@@ -334,10 +414,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	emit := func(event string, v any) {
+	// emit reports write failures so a disconnected client tears the
+	// stream down immediately instead of waiting for the context branch
+	// of the select below to win.
+	emit := func(event string, v any) error {
 		b, _ := json.Marshal(v)
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+			return err
+		}
 		fl.Flush()
+		return nil
 	}
 	ticker := time.NewTicker(50 * time.Millisecond)
 	defer ticker.Stop()
@@ -345,7 +431,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	for {
 		info := j.Snapshot()
 		if info.Done != last.Done || info.Status != last.Status {
-			emit("progress", info)
+			if emit("progress", info) != nil {
+				return
+			}
 			last = info
 		}
 		if info.Status.Terminal() {

@@ -208,6 +208,13 @@ feed:
 		}
 	}
 
+	return &Result{PCE: project(grid, d, order, vals), Points: grid.Len()}, nil
+}
+
+// project computes the PCE coefficients c_α = E[K·He_α]/α! from the
+// node values by sparse-grid quadrature. Shared by Run and FromValues
+// so both paths produce bitwise-identical coefficients.
+func project(grid *quadrature.Grid, d, order int, vals []float64) *PCE {
 	pce := &PCE{Dim: d, Order: order, Indices: multiIndices(d, order)}
 	pce.Coeffs = make([]float64, len(pce.Indices))
 	for t, alpha := range pce.Indices {
@@ -227,7 +234,43 @@ feed:
 		}
 		pce.Coeffs[t] = num / fact
 	}
-	return &Result{PCE: pce, Points: grid.Len()}, nil
+	return pce
+}
+
+// Nodes returns the collocation nodes ξ of the (d, order) Smolyak
+// Gauss–Hermite grid in the grid's deterministic order — the ξ each
+// value passed to FromValues must correspond to. Callers that evaluate
+// the solver themselves (the batched sweep engine synthesizes each node
+// surface once and evaluates it at many frequencies) pair Nodes with
+// FromValues instead of Run.
+func Nodes(d, order int) ([][]float64, error) {
+	if d <= 0 || order < 0 {
+		return nil, resilience.Errorf(resilience.KindInvalidInput, "sscm.Nodes",
+			"invalid d=%d order=%d", d, order)
+	}
+	grid := quadrature.SmolyakHermite(d, order)
+	out := make([][]float64, grid.Len())
+	for i, gp := range grid.Points {
+		out[i] = gp.X
+	}
+	return out, nil
+}
+
+// FromValues builds the order-p PCE from precomputed node values
+// aligned with Nodes(d, order). It is the projection half of Run for
+// callers that schedule the evaluations themselves; given the same
+// values it returns bitwise-identical coefficients.
+func FromValues(d, order int, vals []float64) (*Result, error) {
+	if d <= 0 || order < 0 {
+		return nil, resilience.Errorf(resilience.KindInvalidInput, "sscm.FromValues",
+			"invalid d=%d order=%d", d, order)
+	}
+	grid := quadrature.SmolyakHermite(d, order)
+	if len(vals) != grid.Len() {
+		return nil, resilience.Errorf(resilience.KindInvalidInput, "sscm.FromValues",
+			"got %d values for a %d-node grid", len(vals), grid.Len())
+	}
+	return &Result{PCE: project(grid, d, order, vals), Points: grid.Len()}, nil
 }
 
 // evalNode runs one collocation node with panic recovery.

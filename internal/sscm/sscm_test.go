@@ -203,3 +203,44 @@ func TestNodeErrorClassified(t *testing.T) {
 		t.Fatalf("expected convergence classification, got %v", err)
 	}
 }
+
+func TestFromValuesMatchesRun(t *testing.T) {
+	// FromValues over the Nodes list must reproduce Run bitwise: the
+	// batched sweep engine relies on this equivalence to evaluate nodes
+	// out-of-band and project afterwards.
+	d, order := 3, 2
+	f := func(xi []float64) (float64, error) {
+		return 1 + 0.3*xi[0] - 0.2*xi[1]*xi[2] + 0.05*xi[2]*xi[2], nil
+	}
+	want, err := Run(context.Background(), d, order, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := Nodes(d, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, len(nodes))
+	for i, xi := range nodes {
+		vals[i], _ = f(xi)
+	}
+	got, err := FromValues(d, order, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PCE.Coeffs) != len(want.PCE.Coeffs) {
+		t.Fatalf("coef count %d vs %d", len(got.PCE.Coeffs), len(want.PCE.Coeffs))
+	}
+	for i := range want.PCE.Coeffs {
+		if got.PCE.Coeffs[i] != want.PCE.Coeffs[i] {
+			t.Fatalf("coef %d differs: %v vs %v", i, got.PCE.Coeffs[i], want.PCE.Coeffs[i])
+		}
+	}
+	if got.PCE.Mean() != want.PCE.Mean() {
+		t.Fatalf("mean differs: %v vs %v", got.PCE.Mean(), want.PCE.Mean())
+	}
+	// Length mismatches are rejected, not silently truncated.
+	if _, err := FromValues(d, order, vals[:len(vals)-1]); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}

@@ -149,6 +149,7 @@ type Simulation struct {
 func (s *Simulation) WithMetrics(r *telemetry.Registry) *Simulation {
 	s.metrics = r
 	s.solver.Metrics = r
+	s.solver.TableCache().SetMetrics(r)
 	return s
 }
 

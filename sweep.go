@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"roughsim/internal/rescache"
 	"roughsim/internal/resilience"
@@ -117,25 +118,109 @@ const keySchemaVersion = 1
 // (an execution detail), and defaults are applied first so an explicit
 // grid of 16 and an elided one share a key.
 func (c SweepConfig) KeyAt(f float64) rescache.Key {
+	e := c.WithDefaults().encodeBase()
+	e.Float64(f)
+	return e.Sum()
+}
+
+// Key returns the content address of the whole sweep — the canonical
+// encoding of the frequency-independent config plus the full frequency
+// list. It single-flights identical concurrent sweep jobs in roughsimd.
+func (c SweepConfig) Key() rescache.Key {
 	c = c.WithDefaults()
+	e := c.encodeBase()
+	e.Float64s(c.Freqs)
+	return e.Sum()
+}
+
+// encodeBase canonically encodes every frequency-independent,
+// result-determining field (see KeyAt).
+func (c SweepConfig) encodeBase() *rescache.Enc {
 	e := rescache.NewEnc()
 	e.Uint64(keySchemaVersion)
 	e.Float64(c.Stack.EpsR).Float64(c.Stack.Rho)
 	e.Int(int(c.Spec.Corr))
 	e.Float64(c.Spec.Sigma).Float64(c.Spec.Eta).Float64(c.Spec.Eta2).Float64(c.Spec.EtaY)
 	e.Int(c.Acc.GridPerSide).Float64(c.Acc.PatchOverEta).Int(c.Acc.StochasticDim)
-	e.Float64(f)
-	return e.Sum()
+	return e
 }
 
 // SweepPoint is one frequency's record: the SWM mean loss factor next
-// to the analytic baselines, in SI units.
+// to the analytic baselines, in SI units. Non-finite fields (a NaN
+// KEmpirical from an out-of-domain formula, a poisoned K from a partial
+// Monte-Carlo result) marshal as JSON null instead of failing the whole
+// payload — encoding/json rejects NaN/±Inf outright, which would turn
+// one bad point into an undeliverable /v1/sweeps result.
 type SweepPoint struct {
 	FreqHz     float64 `json:"freq_hz"`
 	SkinDepthM float64 `json:"skin_depth_m"`
 	KSWM       float64 `json:"k_swm"`
 	KSPM2      float64 `json:"k_spm2"`
 	KEmpirical float64 `json:"k_empirical"`
+}
+
+// jsonFloat marshals finite values exactly like float64 (byte-identical
+// formatting) and non-finite values as null; null unmarshals to NaN.
+type jsonFloat float64
+
+func (v jsonFloat) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(f)
+}
+
+func (v *jsonFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*v = jsonFloat(math.NaN())
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*v = jsonFloat(f)
+	return nil
+}
+
+// sweepPointWire is the JSON shape of SweepPoint with non-finite-safe
+// fields. Field order (hence output bytes for finite values) matches
+// the plain struct exactly.
+type sweepPointWire struct {
+	FreqHz     jsonFloat `json:"freq_hz"`
+	SkinDepthM jsonFloat `json:"skin_depth_m"`
+	KSWM       jsonFloat `json:"k_swm"`
+	KSPM2      jsonFloat `json:"k_spm2"`
+	KEmpirical jsonFloat `json:"k_empirical"`
+}
+
+// MarshalJSON encodes the point with non-finite fields as null.
+func (p SweepPoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sweepPointWire{
+		FreqHz:     jsonFloat(p.FreqHz),
+		SkinDepthM: jsonFloat(p.SkinDepthM),
+		KSWM:       jsonFloat(p.KSWM),
+		KSPM2:      jsonFloat(p.KSPM2),
+		KEmpirical: jsonFloat(p.KEmpirical),
+	})
+}
+
+// UnmarshalJSON accepts both plain numbers and the null encoding of
+// failed fields (which decode as NaN).
+func (p *SweepPoint) UnmarshalJSON(b []byte) error {
+	var w sweepPointWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*p = SweepPoint{
+		FreqHz:     float64(w.FreqHz),
+		SkinDepthM: float64(w.SkinDepthM),
+		KSWM:       float64(w.KSWM),
+		KSPM2:      float64(w.KSPM2),
+		KEmpirical: float64(w.KEmpirical),
+	}
+	return nil
 }
 
 // SweepResult is the machine-readable outcome of a sweep — the record
@@ -162,7 +247,9 @@ func (s *Simulation) PointAt(ctx context.Context, f float64) (SweepPoint, error)
 }
 
 // RunSweep executes the configured sweep directly (no cache, no queue
-// — the CLI path), checking ctx between frequencies.
+// — the CLI path) through the batched sweep engine, which reuses
+// surfaces and tables across frequencies and interpolates matrices
+// over broadband sweeps (see internal/sweepengine).
 func RunSweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -172,11 +259,12 @@ func RunSweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunSweep(ctx, cfg.Freqs)
+	return sim.RunSweepBatched(ctx, cfg.Freqs)
 }
 
-// RunSweep computes the SweepResult over freqs on an already-built
-// simulation, checking ctx between frequencies.
+// RunSweep computes the SweepResult over freqs one frequency at a time
+// — the point-at-a-time baseline the batched engine is benchmarked
+// against — checking ctx between frequencies. Prefer RunSweepBatched.
 func (s *Simulation) RunSweep(ctx context.Context, freqs []float64) (*SweepResult, error) {
 	cfg := SweepConfig{Stack: s.stack, Spec: s.spec, Acc: s.acc, Freqs: freqs}
 	if err := cfg.Validate(); err != nil {

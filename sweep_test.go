@@ -143,3 +143,62 @@ func TestRunSweepJSONSchema(t *testing.T) {
 		t.Fatal("re-marshal must be byte-identical")
 	}
 }
+
+func TestSweepPointJSONNonFinite(t *testing.T) {
+	// encoding/json rejects NaN/±Inf outright; a single failed baseline
+	// (e.g. an out-of-domain empirical formula) must not make the whole
+	// sweep payload undeliverable. Non-finite fields marshal as null and
+	// decode back as NaN.
+	p := SweepPoint{
+		FreqHz:     5e9,
+		SkinDepthM: 0.92e-6,
+		KSWM:       1.25,
+		KSPM2:      math.Inf(1),
+		KEmpirical: math.NaN(),
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("non-finite point failed to marshal: %v", err)
+	}
+	want := `{"freq_hz":5000000000,"skin_depth_m":9.2e-7,"k_swm":1.25,"k_spm2":null,"k_empirical":null}`
+	if string(b) != want {
+		t.Fatalf("wire form:\n%s\nwant\n%s", b, want)
+	}
+	var back SweepPoint
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.FreqHz != p.FreqHz || back.KSWM != p.KSWM || back.SkinDepthM != p.SkinDepthM {
+		t.Fatalf("finite fields changed: %+v", back)
+	}
+	if !math.IsNaN(back.KSPM2) || !math.IsNaN(back.KEmpirical) {
+		t.Fatalf("null fields must decode as NaN: %+v", back)
+	}
+
+	// A whole result with a poisoned point still encodes.
+	res := SweepResult{Config: SweepConfig{Freqs: []float64{5e9}}, Points: []SweepPoint{p}}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("result with non-finite point failed to marshal: %v", err)
+	}
+
+	// Finite points keep the exact legacy wire bytes.
+	fin := SweepPoint{FreqHz: 5e9, SkinDepthM: 0.92e-6, KSWM: 1.25, KSPM2: 1.2, KEmpirical: 1.3}
+	b, err = json.Marshal(fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type legacy struct {
+		FreqHz     float64 `json:"freq_hz"`
+		SkinDepthM float64 `json:"skin_depth_m"`
+		KSWM       float64 `json:"k_swm"`
+		KSPM2      float64 `json:"k_spm2"`
+		KEmpirical float64 `json:"k_empirical"`
+	}
+	lb, err := json.Marshal(legacy(fin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(lb) {
+		t.Fatalf("finite wire form drifted:\n%s\nvs legacy\n%s", b, lb)
+	}
+}

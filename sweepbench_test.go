@@ -1,0 +1,133 @@
+// Benchmarks for the batched sweep engine against the point-at-a-time
+// baseline, plus an env-gated recorder that writes BENCH_sweep.json
+// (set ROUGHSIM_BENCH_OUT to the output path; CI runs it as a smoke
+// check). Both paths run the same 16-point 4–6 GHz sweep at the tiny
+// service-tier accuracy, cold-started each iteration so table builds
+// are counted in.
+package roughsim
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"roughsim/internal/telemetry"
+)
+
+func benchSweepConfig(points int) SweepConfig {
+	freqs := make([]float64, points)
+	for i := range freqs {
+		freqs[i] = (4 + 2*float64(i)/float64(points-1)) * 1e9
+	}
+	return SweepConfig{
+		Spec:  SurfaceSpec{Corr: GaussianCF, Sigma: 0.4e-6, Eta: 1e-6},
+		Acc:   Accuracy{GridPerSide: 8, StochasticDim: 2},
+		Freqs: freqs,
+	}
+}
+
+func benchSim(b testing.TB, cfg SweepConfig) *Simulation {
+	sim, err := NewSimulation(cfg.Stack, cfg.Spec, cfg.Acc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim
+}
+
+// BenchmarkSweepPointAtATime is the pre-engine baseline: every
+// frequency re-synthesizes the collocation surfaces, rebuilds its
+// tables and assembles every system from scratch.
+func BenchmarkSweepPointAtATime(b *testing.B) {
+	cfg := benchSweepConfig(16).WithDefaults()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := benchSim(b, cfg)
+		if _, err := sim.RunSweep(context.Background(), cfg.Freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepBatched runs the same sweep through the batched engine
+// (shared surfaces, cached tables, anchor-interpolated matrices).
+func BenchmarkSweepBatched(b *testing.B) {
+	cfg := benchSweepConfig(16).WithDefaults()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := benchSim(b, cfg)
+		if _, err := sim.RunSweepBatched(context.Background(), cfg.Freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRecordSweepBench measures one cold run of each path and writes
+// the comparison to $ROUGHSIM_BENCH_OUT (skipped when unset). The
+// speedup floor here is deliberately lenient for noisy CI runners; the
+// committed BENCH_sweep.json records the real measurement.
+func TestRecordSweepBench(t *testing.T) {
+	out := os.Getenv("ROUGHSIM_BENCH_OUT")
+	if out == "" {
+		t.Skip("set ROUGHSIM_BENCH_OUT to record the sweep benchmark")
+	}
+	cfg := benchSweepConfig(16).WithDefaults()
+
+	t0 := time.Now()
+	base, err := benchSim(t, cfg).RunSweep(context.Background(), cfg.Freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSec := time.Since(t0).Seconds()
+
+	m := telemetry.NewRegistry()
+	t1 := time.Now()
+	batched, err := benchSim(t, cfg).WithMetrics(m).RunSweepBatched(context.Background(), cfg.Freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchSec := time.Since(t1).Seconds()
+
+	var maxDev float64
+	kBase := make([]float64, len(cfg.Freqs))
+	kBatch := make([]float64, len(cfg.Freqs))
+	for i := range cfg.Freqs {
+		kBase[i] = base.Points[i].KSWM
+		kBatch[i] = batched.Points[i].KSWM
+		if d := math.Abs(kBatch[i]-kBase[i]) / kBase[i]; d > maxDev {
+			maxDev = d
+		}
+	}
+	rec := map[string]any{
+		"points":           len(cfg.Freqs),
+		"band_ghz":         []float64{4, 6},
+		"grid_per_side":    cfg.Acc.GridPerSide,
+		"stochastic_dim":   cfg.Acc.StochasticDim,
+		"cpus":             runtime.NumCPU(),
+		"baseline_seconds": baseSec,
+		"batched_seconds":  batchSec,
+		"speedup":          baseSec / batchSec,
+		"anchor_builds":    m.Counter("sweep.anchor_builds").Value(),
+		"max_rel_dev":      maxDev,
+		"k_swm_baseline":   kBase,
+		"k_swm_batched":    kBatch,
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline %.2fs, batched %.2fs (%.2fx), max rel dev %.2g",
+		baseSec, batchSec, baseSec/batchSec, maxDev)
+	if maxDev > 1e-3 {
+		t.Fatalf("batched sweep deviates from baseline: max rel dev %g", maxDev)
+	}
+	if baseSec < 1.2*batchSec {
+		t.Fatalf("batched sweep not faster: baseline %.2fs vs batched %.2fs", baseSec, batchSec)
+	}
+}
