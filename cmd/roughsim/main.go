@@ -7,7 +7,7 @@
 //
 //	roughsim [-sigma 1.0] [-eta 1.0] [-cf gaussian|exp|measured]
 //	         [-eta2 0.53] [-fmin 1] [-fmax 9] [-steps 9] [-grid 16] [-dim 16]
-//	         [-timeout 0] [-json]
+//	         [-timeout 0] [-json] [-trace]
 //
 // Lengths are in micrometers, frequencies in GHz. The sweep honors
 // Ctrl-C and the -timeout budget: cancellation stops the run promptly
@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"roughsim"
+	"roughsim/internal/trace"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 		dim     = flag.Int("dim", 16, "stochastic (KL) dimension")
 		timeout = flag.Duration("timeout", 0, "total sweep budget (e.g. 90s); 0 means no limit")
 		asJSON  = flag.Bool("json", false, "emit the sweep as JSON (the roughsimd record schema)")
+		showTr  = flag.Bool("trace", false, "print a per-stage timing breakdown to stderr after the sweep")
 	)
 	flag.Parse()
 
@@ -82,6 +84,11 @@ func main() {
 		defer cancel()
 	}
 
+	var tr *trace.Trace
+	if *showTr {
+		tr = trace.New("cli")
+		ctx = trace.ContextWithSpan(ctx, tr.Root())
+	}
 	start := time.Now()
 	res, err := sim.RunSweepBatched(ctx, freqs)
 	if err != nil {
@@ -91,6 +98,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "roughsim:", err)
 		}
 		os.Exit(1)
+	}
+
+	if tr != nil {
+		tr.Finish()
+		fmt.Fprintf(os.Stderr, "per-stage breakdown (%.3fs total):\n", tr.Stages().DurationSeconds)
+		for _, st := range tr.Stages().Stages {
+			if st.Name == "job" {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "  %-18s x%-5d %9.4fs\n", st.Name, st.Count, st.Seconds)
+		}
 	}
 
 	if *asJSON {

@@ -3,12 +3,14 @@
 // pool, and their per-frequency records are cached under a canonical
 // content address (memory LRU + optional disk tier), so repeated and
 // concurrent identical sweeps cost one solver execution. Telemetry for
-// every tier is served at /metrics.
+// every tier is served at /metrics (JSON by default, Prometheus text on
+// ?format=prometheus); per-job span traces at /debug/trace/{id}.
 //
 // Usage:
 //
 //	roughsimd [-addr :8080] [-workers 2] [-queue 64] [-job-timeout 0]
 //	          [-cache-size 4096] [-cache-dir ""] [-drain-timeout 30s]
+//	          [-trace-buffer 128] [-pprof] [-log-level info]
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: submissions are
 // rejected, running sweeps get -drain-timeout to finish, then are
@@ -19,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -39,29 +42,49 @@ func main() {
 		cacheSize    = flag.Int("cache-size", 4096, "result-cache entries (memory tier)")
 		cacheDir     = flag.String("cache-dir", "", "result-cache directory (disk tier); empty disables")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		traceBuffer  = flag.Int("trace-buffer", 0, "retained job traces (default 128)")
+		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "roughsimd: -log-level:", err)
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	srv, err := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		JobTimeout: *jobTimeout,
-		CacheSize:  *cacheSize,
-		CacheDir:   *cacheDir,
-		Metrics:    telemetry.NewRegistry(),
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		JobTimeout:    *jobTimeout,
+		CacheSize:     *cacheSize,
+		CacheDir:      *cacheDir,
+		Metrics:       telemetry.NewRegistry(),
+		TraceCapacity: *traceBuffer,
+		EnablePprof:   *enablePprof,
+		Log:           log,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "roughsimd:", err)
+		log.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "roughsimd:", err)
+		log.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "roughsimd: listening on %s (workers=%d queue=%d cache=%d dir=%q)\n",
-		l.Addr(), *workers, *queueDepth, *cacheSize, *cacheDir)
+	log.Info("listening",
+		"addr", l.Addr().String(),
+		"workers", *workers,
+		"queue", *queueDepth,
+		"cache", *cacheSize,
+		"cache_dir", *cacheDir,
+		"trace_buffer", *traceBuffer,
+		"pprof", *enablePprof,
+	)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -70,17 +93,17 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "roughsimd: draining…")
+		log.Info("draining", "budget", drainTimeout.String())
 		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
-			fmt.Fprintln(os.Stderr, "roughsimd: drain:", err)
+			log.Error("drain failed", "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "roughsimd: drained cleanly")
+		log.Info("drained cleanly")
 	case err := <-errc:
 		if err != nil && err != http.ErrServerClosed {
-			fmt.Fprintln(os.Stderr, "roughsimd:", err)
+			log.Error("serve failed", "err", err)
 			os.Exit(1)
 		}
 	}

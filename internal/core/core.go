@@ -27,8 +27,16 @@ import (
 	"roughsim/internal/resilience"
 	"roughsim/internal/surface"
 	"roughsim/internal/telemetry"
+	"roughsim/internal/trace"
 	"roughsim/internal/units"
 )
+
+// observeStage records a stage duration into the labeled per-stage
+// histogram every instrumented tier shares (sweep.stage_seconds) — the
+// series the CI smoke test asserts on after a sweep.
+func observeStage(m *telemetry.Registry, stage string, seconds float64) {
+	m.HistogramL("sweep.stage_seconds", nil, telemetry.L("stage", stage)).Observe(seconds)
+}
 
 // Material describes the two-medium stack of the paper's experiments.
 type Material struct {
@@ -194,6 +202,7 @@ func (s *Solver) record(rep *mom.SolveReport) {
 // solve runs the resilient chain on one assembled system and folds its
 // accounting into the solver stats.
 func (s *Solver) solve(ctx context.Context, sys *mom.System) (*mom.Solution, error) {
+	_, sp := trace.StartSpan(ctx, "mom.solve")
 	start := time.Now()
 	sol, err := sys.SolveResilient(ctx, mom.SolveOptions{
 		Tol:      s.SolveTol,
@@ -201,11 +210,20 @@ func (s *Solver) solve(ctx context.Context, sys *mom.System) (*mom.Solution, err
 		Injector: s.Injector,
 		Key:      atomic.AddUint64(&s.key, 1) - 1,
 	})
-	s.Metrics.Histogram("solve.seconds").Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start).Seconds()
+	s.Metrics.Histogram("solve.seconds").Observe(elapsed)
+	observeStage(s.Metrics, "mom.solve", elapsed)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		s.Metrics.Counter("solve.errors").Inc()
 		return nil, err
 	}
+	if sol.Report != nil && sol.Report.Winner != "" {
+		sp.SetAttr("winner", sol.Report.Winner)
+		sp.SetAttr("attempts", len(sol.Report.Attempts))
+	}
+	sp.End()
 	s.record(sol.Report)
 	return sol, nil
 }
@@ -224,13 +242,13 @@ func (s *Solver) SetTableCache(tc *mom.TableCache) {
 // tableFor returns (building on first use, single-flighted across
 // callers) the frequency's table set. The build runs outside any solver
 // lock, so tables for distinct frequencies build in parallel.
-func (s *Solver) tableFor(f float64) *mom.TableSet {
-	return s.tables.Get(s.Mat.Params(f), s.L, s.M, s.ZSpan, s.Opt)
+func (s *Solver) tableFor(ctx context.Context, f float64) *mom.TableSet {
+	return s.tables.GetCtx(ctx, s.Mat.Params(f), s.L, s.M, s.ZSpan, s.Opt)
 }
 
 // assemble picks the exact or tabulated path.
-func (s *Solver) assemble(surf *surface.Surface, f float64) (*mom.System, error) {
-	return s.AssembleSurface(surf, f, 0)
+func (s *Solver) assemble(ctx context.Context, surf *surface.Surface, f float64) (*mom.System, error) {
+	return s.AssembleSurfaceCtx(ctx, surf, f, 0)
 }
 
 // AssembleSurface assembles the MoM system for surf at f through the
@@ -238,12 +256,26 @@ func (s *Solver) assemble(surf *surface.Surface, f float64) (*mom.System, error)
 // overrides the solver's assembly parallelism — the batched sweep
 // engine splits its worker budget across concurrent points.
 func (s *Solver) AssembleSurface(surf *surface.Surface, f float64, workers int) (*mom.System, error) {
+	return s.AssembleSurfaceCtx(context.Background(), surf, f, workers)
+}
+
+// AssembleSurfaceCtx is AssembleSurface with trace propagation: the
+// assembly runs under a "mom.assemble" span (and any table build it
+// forces under a nested "tables.build" span) of the context's trace.
+func (s *Solver) AssembleSurfaceCtx(ctx context.Context, surf *surface.Surface, f float64, workers int) (*mom.System, error) {
 	opt := s.Opt
 	if workers > 0 {
 		opt.Workers = workers
 	}
+	ctx, sp := trace.StartSpan(ctx, "mom.assemble")
+	sp.SetAttr("f", f)
+	start := time.Now()
+	defer func() {
+		observeStage(s.Metrics, "mom.assemble", time.Since(start).Seconds())
+		sp.End()
+	}()
 	if s.ZSpan > 0 {
-		return mom.AssembleTabulated(surf, s.Mat.Params(f), s.tableFor(f), opt)
+		return mom.AssembleTabulated(surf, s.Mat.Params(f), s.tableFor(ctx, f), opt)
 	}
 	return mom.Assemble(surf, s.Mat.Params(f), opt), nil
 }
@@ -302,7 +334,14 @@ func (s *Solver) FlatPabsCtx(ctx context.Context, f float64) (float64, error) {
 
 // flatSolve runs the flat-reference assembly and solve at f.
 func (s *Solver) flatSolve(ctx context.Context, f float64) (float64, error) {
-	sys, err := s.assemble(surface.NewFlat(s.L, s.M), f)
+	ctx, sp := trace.StartSpan(ctx, "flat.reference")
+	sp.SetAttr("f", f)
+	start := time.Now()
+	defer func() {
+		observeStage(s.Metrics, "flat.reference", time.Since(start).Seconds())
+		sp.End()
+	}()
+	sys, err := s.assemble(ctx, surface.NewFlat(s.L, s.M), f)
 	if err != nil {
 		return 0, fmt.Errorf("core: flat reference at f=%g: %w", f, err)
 	}
@@ -360,7 +399,7 @@ func (s *Solver) LossFactorCtx(ctx context.Context, surf *surface.Surface, f flo
 	if err != nil {
 		return 0, err
 	}
-	sys, err := s.assemble(surf, f)
+	sys, err := s.assemble(ctx, surf, f)
 	if err != nil {
 		return 0, fmt.Errorf("core: rough assembly at f=%g: %w", f, err)
 	}

@@ -25,6 +25,7 @@ import (
 
 	"roughsim/internal/resilience"
 	"roughsim/internal/telemetry"
+	"roughsim/internal/trace"
 )
 
 // Status is the lifecycle state of a job.
@@ -58,6 +59,9 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	trace    *trace.Trace // per-job trace (nil when the queue has no tracer)
+	waitSpan *trace.Span  // queue.wait span, Submit → worker pickup
+
 	mu        sync.Mutex
 	status    Status
 	result    any
@@ -65,6 +69,8 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	queueWait time.Duration
+	changed   chan struct{} // closed and replaced on every observable change
 
 	progDone, progTotal atomic.Int64
 }
@@ -79,6 +85,9 @@ type Info struct {
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitempty"`
 	Finished  time.Time `json:"finished,omitempty"`
+	// QueueWaitSeconds is Submit → worker-pickup latency, 0 until the
+	// job leaves the queue.
+	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
 }
 
 // Snapshot returns the job's current state.
@@ -86,13 +95,14 @@ func (j *Job) Snapshot() Info {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := Info{
-		ID:        j.ID,
-		Status:    j.status,
-		Done:      j.progDone.Load(),
-		Total:     j.progTotal.Load(),
-		Submitted: j.submitted,
-		Started:   j.started,
-		Finished:  j.finished,
+		ID:               j.ID,
+		Status:           j.status,
+		Done:             j.progDone.Load(),
+		Total:            j.progTotal.Load(),
+		Submitted:        j.submitted,
+		Started:          j.started,
+		Finished:         j.finished,
+		QueueWaitSeconds: j.queueWait.Seconds(),
 	}
 	if j.err != nil {
 		info.Error = j.err.Error()
@@ -102,6 +112,26 @@ func (j *Job) Snapshot() Info {
 
 // Done closes when the job reaches a terminal status.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Changed returns a channel closed at the job's next observable change
+// (status transition or progress update). Streaming consumers wait on
+// it instead of polling: subscribe with Changed() BEFORE reading
+// Snapshot(), then block — any change between the two closes the
+// returned channel, so no update can be missed.
+func (j *Job) Changed() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.changed
+}
+
+// notifyLocked wakes every Changed() waiter. Caller holds j.mu.
+func (j *Job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// Trace returns the job's trace (nil when tracing is disabled).
+func (j *Job) Trace() *trace.Trace { return j.trace }
 
 // Result returns the job's outcome; valid only after Done() closes.
 func (j *Job) Result() (any, error) {
@@ -136,6 +166,9 @@ type Queue struct {
 	submitted, completed, failed, rejected *telemetry.Counter
 	canceled                               *telemetry.Counter
 	jobSeconds                             *telemetry.Histogram
+	waitSeconds                            *telemetry.Histogram
+
+	tracer *trace.Recorder
 }
 
 // NewQueue starts workers goroutines draining a FIFO of at most
@@ -159,12 +192,26 @@ func NewQueue(workers, capacity int, jobTimeout time.Duration, m *telemetry.Regi
 		rejected:   m.Counter("queue.jobs_rejected"),
 		canceled:   m.Counter("queue.jobs_canceled"),
 		jobSeconds: m.Histogram("queue.job_seconds"),
+		// Queue wait is routinely sub-millisecond on an idle service, so
+		// its buckets start two decades below the job-latency ones.
+		waitSeconds: m.HistogramBuckets("queue.wait_seconds", telemetry.ExpBuckets(1e-5, 4, 16)),
 	}
 	for w := 0; w < workers; w++ {
 		q.wg.Add(1)
 		go q.worker()
 	}
 	return q, nil
+}
+
+// SetTracer attaches a trace recorder: every job submitted afterwards
+// gets a trace (ID = job ID) with a queue.wait span covering Submit →
+// worker pickup and a job.run span wrapping the runner, propagated to
+// the runner through its context. Call before serving traffic; a nil
+// recorder disables tracing.
+func (q *Queue) SetTracer(rec *trace.Recorder) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.tracer = rec
 }
 
 // newID returns a random 128-bit hex job ID.
@@ -179,7 +226,8 @@ func newID() string {
 // Submit enqueues run, returning ErrQueueFull when the FIFO is at
 // capacity and ErrClosed after Drain has begun.
 func (q *Queue) Submit(run Runner) (*Job, error) {
-	j := &Job{ID: newID(), run: run, status: StatusQueued, submitted: time.Now(), done: make(chan struct{})}
+	j := &Job{ID: newID(), run: run, status: StatusQueued, submitted: time.Now(),
+		done: make(chan struct{}), changed: make(chan struct{})}
 	j.ctx, j.cancel = context.WithCancel(q.base)
 
 	q.mu.Lock()
@@ -189,12 +237,21 @@ func (q *Queue) Submit(run Runner) (*Job, error) {
 		q.rejected.Inc()
 		return nil, ErrClosed
 	}
+	// The trace must exist before the job is visible to a worker: runJob
+	// reads j.trace/j.waitSpan without locking, relying on the channel
+	// send as the happens-before edge.
+	tracer := q.tracer
+	if tracer != nil {
+		j.trace = tracer.New(j.ID)
+		j.waitSpan = j.trace.Root().StartChild("queue.wait")
+	}
 	select {
 	case q.ch <- j:
 		q.jobs[j.ID] = j
 		q.mu.Unlock()
 	default:
 		q.mu.Unlock()
+		tracer.Remove(j.ID)
 		j.cancel()
 		q.rejected.Inc()
 		return nil, ErrQueueFull
@@ -236,7 +293,11 @@ func (q *Queue) runJob(j *Job) {
 	j.mu.Lock()
 	j.status = StatusRunning
 	j.started = time.Now()
+	j.queueWait = j.started.Sub(j.submitted)
+	j.notifyLocked()
 	j.mu.Unlock()
+	q.waitSeconds.Observe(j.queueWait.Seconds())
+	j.waitSpan.End()
 	q.running.Add(1)
 	defer q.running.Add(-1)
 
@@ -246,11 +307,19 @@ func (q *Queue) runJob(j *Job) {
 		ctx, cancel = context.WithTimeout(ctx, q.timeout)
 		defer cancel()
 	}
+	if j.trace != nil {
+		ctx = trace.ContextWithSpan(ctx, j.trace.Root())
+	}
+	runCtx, runSpan := trace.StartSpan(ctx, "job.run")
 	progress := func(done, total int) {
 		j.progDone.Store(int64(done))
 		j.progTotal.Store(int64(total))
+		j.mu.Lock()
+		j.notifyLocked()
+		j.mu.Unlock()
 	}
-	v, err := runRecovered(ctx, j.run, progress)
+	v, err := runRecovered(runCtx, j.run, progress)
+	runSpan.End()
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -268,8 +337,14 @@ func (q *Queue) runJob(j *Job) {
 		q.failed.Inc()
 	}
 	elapsed := j.finished.Sub(j.started)
+	status := j.status
 	close(j.done)
+	j.notifyLocked()
 	j.mu.Unlock()
+	if j.trace != nil {
+		j.trace.Root().SetAttr("status", string(status))
+		j.trace.Finish()
+	}
 	q.jobSeconds.Observe(elapsed.Seconds())
 }
 

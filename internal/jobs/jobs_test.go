@@ -9,6 +9,7 @@ import (
 
 	"roughsim/internal/resilience"
 	"roughsim/internal/telemetry"
+	"roughsim/internal/trace"
 )
 
 func await(t *testing.T, j *Job) {
@@ -286,5 +287,183 @@ func TestDrainDeadlineCancelsStragglers(t *testing.T) {
 	await(t, j)
 	if s := j.Snapshot(); s.Status != StatusCanceled {
 		t.Fatalf("straggler status = %s", s.Status)
+	}
+}
+
+// TestQueueWaitIsMeasured is the regression test for the unmeasured
+// queue-wait bug: with one worker blocked, a second job's wait between
+// Submit and pickup must land in queue.wait_seconds and in the job's
+// Info snapshot.
+func TestQueueWaitIsMeasured(t *testing.T) {
+	m := telemetry.NewRegistry()
+	q, err := NewQueue(1, 8, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+	release := make(chan struct{})
+	first, err := q.Submit(func(context.Context, func(int, int)) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := q.Submit(func(context.Context, func(int, int)) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // let the second job accumulate queue wait
+	close(release)
+	await(t, first)
+	await(t, second)
+
+	if got := second.Snapshot().QueueWaitSeconds; got < 0.02 {
+		t.Fatalf("second job queue_wait_seconds = %g, want ≥ 0.02", got)
+	}
+	if first.Snapshot().QueueWaitSeconds <= 0 {
+		t.Fatal("first job should still record a (tiny) positive queue wait")
+	}
+	hs := m.Snapshot().Histograms["queue.wait_seconds"]
+	if hs.Count != 2 {
+		t.Fatalf("queue.wait_seconds count = %d, want 2", hs.Count)
+	}
+	if hs.Sum < 0.02 {
+		t.Fatalf("queue.wait_seconds sum = %g, want ≥ 0.02", hs.Sum)
+	}
+}
+
+// TestChangedBroadcast verifies the event-driven subscription: a
+// channel obtained before a change closes at that change, and the
+// subscribe-then-snapshot pattern cannot miss updates.
+func TestChangedBroadcast(t *testing.T) {
+	q, err := NewQueue(1, 8, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+	step := make(chan struct{})
+	j, err := q.Submit(func(ctx context.Context, progress func(int, int)) (any, error) {
+		progress(0, 2)
+		<-step
+		progress(1, 2)
+		<-step
+		progress(2, 2)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := []int64{}
+	var last Info
+	sends := 0
+	deadline := time.After(10 * time.Second)
+	for !last.Status.Terminal() {
+		ch := j.Changed() // subscribe BEFORE snapshot
+		info := j.Snapshot()
+		if info.Done != last.Done || info.Status != last.Status {
+			if info.Done != last.Done {
+				seen = append(seen, info.Done)
+			}
+			last = info
+			continue // re-check: more changes may have landed already
+		}
+		// Nothing new: release the runner. The job consumes exactly two
+		// steps; the cap keeps a stale snapshot from over-sending.
+		if sends < 2 {
+			step <- struct{}{}
+			sends++
+			continue
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			t.Fatalf("no change signal; last %+v", last)
+		}
+	}
+	if len(seen) == 0 || seen[len(seen)-1] != 2 {
+		t.Fatalf("progress changes seen: %v", seen)
+	}
+	// After the terminal notify, Changed() must simply never fire again
+	// (no goroutine is left signaling) — give it a moment to prove it.
+	select {
+	case <-j.Changed():
+		t.Fatal("Changed fired after terminal state")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// TestJobTraceSpans: with a tracer attached, every job yields a trace
+// whose queue.wait and job.run spans nest under the root and whose
+// stage rollup is complete.
+func TestJobTraceSpans(t *testing.T) {
+	rec := trace.NewRecorder(8)
+	q, err := NewQueue(1, 8, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+	q.SetTracer(rec)
+	j, err := q.Submit(func(ctx context.Context, progress func(int, int)) (any, error) {
+		_, sp := trace.StartSpan(ctx, "sweep.synthesize")
+		sp.End()
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, j)
+	tr := rec.Get(j.ID)
+	if tr == nil || j.Trace() != tr {
+		t.Fatal("job trace not recorded")
+	}
+	sum := tr.Summary()
+	if sum.Spans.InProgress {
+		t.Fatal("root span not finished")
+	}
+	names := map[string]bool{}
+	for _, c := range sum.Spans.Children {
+		names[c.Name] = true
+	}
+	if !names["queue.wait"] || !names["job.run"] {
+		t.Fatalf("root children: %+v", sum.Spans.Children)
+	}
+	var runSpan *trace.SpanSummary
+	for _, c := range sum.Spans.Children {
+		if c.Name == "job.run" {
+			runSpan = c
+		}
+	}
+	if len(runSpan.Children) != 1 || runSpan.Children[0].Name != "sweep.synthesize" {
+		t.Fatalf("runner spans must nest under job.run: %+v", runSpan)
+	}
+	if got := sum.Spans.Attrs["status"]; got != string(StatusSucceeded) {
+		t.Fatalf("root status attr = %v", got)
+	}
+	// A full queue must not leak a trace for the rejected job.
+	q2, err := NewQueue(1, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Drain(context.Background())
+	release := make(chan struct{})
+	defer close(release) // LIFO: runs before Drain, unblocking the worker
+	started := make(chan struct{})
+	q2.SetTracer(rec)
+	if _, err := q2.Submit(func(context.Context, func(int, int)) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker holds the first job; the buffer is empty
+	if _, err := q2.Submit(func(context.Context, func(int, int)) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err) // fills the buffer
+	}
+	if rj, err := q2.Submit(func(context.Context, func(int, int)) (any, error) { return nil, nil }); err == nil {
+		t.Fatalf("expected queue full, got job %v", rj.ID)
+	} else if got := len(rec.Recent(0)); got != 3 {
+		t.Fatalf("rejected job left a trace: %d recorded, want 3", got)
 	}
 }

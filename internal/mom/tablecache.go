@@ -2,11 +2,13 @@ package mom
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"roughsim/internal/telemetry"
+	"roughsim/internal/trace"
 )
 
 // TableKey identifies one TableSet: every input NewTableSet folds into
@@ -102,6 +104,13 @@ func (c *TableCache) Builds() int64 { return c.builds.Load() }
 // builder finishes (NewTableSet is not cancellable; the wait is bounded
 // by one build).
 func (c *TableCache) Get(p Params, L float64, M int, zspan float64, opt Options) *TableSet {
+	return c.GetCtx(context.Background(), p, L, M, zspan, opt)
+}
+
+// GetCtx is Get with trace propagation: a build forced by a cache miss
+// runs under a "tables.build" span of the context's trace (hits and
+// shared waits add no span — they are lock-bounded).
+func (c *TableCache) GetCtx(ctx context.Context, p Params, L float64, M int, zspan float64, opt Options) *TableSet {
 	opt = opt.withDefaults()
 	key := TableKey{P: p, L: L, M: M, ZSpan: zspan, Near: opt.NearRadius, Sub: opt.NearSubdiv}
 
@@ -124,8 +133,11 @@ func (c *TableCache) Get(p Params, L float64, M int, zspan float64, opt Options)
 	c.mu.Unlock()
 	c.reg().Counter("tables.misses").Inc()
 
+	_, sp := trace.StartSpan(ctx, "tables.build")
+	sp.SetAttr("grid", M)
 	start := time.Now()
 	ts := NewTableSet(p, L, M, zspan, opt)
+	sp.End()
 	c.builds.Add(1)
 	c.reg().Counter("tables.built").Inc()
 	c.reg().Histogram("tables.build_seconds").Observe(time.Since(start).Seconds())

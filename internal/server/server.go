@@ -12,11 +12,16 @@
 //	GET  /v1/sweeps/{id}/result  the roughsim.SweepResult (when succeeded)
 //	GET  /v1/sweeps/{id}/stream  SSE progress events until terminal
 //	DELETE /v1/sweeps/{id}     cancel a queued or running job
-//	GET  /metrics              telemetry snapshot (expvar-style JSON)
+//	GET  /metrics              telemetry snapshot (JSON; Prometheus text
+//	                           on ?format=prometheus or a scraper Accept)
 //	GET  /healthz              liveness
+//	GET  /debug/trace/{id}     full span tree of a job's trace
+//	GET  /debug/traces         per-stage rollups of recent traces
+//	GET  /debug/pprof/...      stdlib profiler (only with EnablePprof)
 //
 // The record schema of /result is exactly what `roughsim -json` emits,
-// so CLI and service outputs are diffable.
+// so CLI and service outputs are diffable; /result carries the job's
+// trace ID in an X-Trace-ID header instead of in the body.
 package server
 
 import (
@@ -24,9 +29,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"roughsim"
@@ -34,6 +44,7 @@ import (
 	"roughsim/internal/rescache"
 	"roughsim/internal/resilience"
 	"roughsim/internal/telemetry"
+	"roughsim/internal/trace"
 )
 
 // Config sizes the service tier. Zero values select the defaults noted
@@ -54,6 +65,15 @@ type Config struct {
 	MaxFreqs int // longest accepted frequency list (default 256)
 	// Metrics receives every tier's telemetry; default a fresh registry.
 	Metrics *telemetry.Registry
+	// TraceCapacity bounds the ring of retained job traces (default
+	// trace.DefaultRecorderCap).
+	TraceCapacity int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiler exposes stacks and heap contents.
+	EnablePprof bool
+	// Log receives the structured request log (key=value via slog).
+	// Default discards, so library/test use stays silent.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +98,9 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = telemetry.NewRegistry()
 	}
+	if c.Log == nil {
+		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -87,6 +110,9 @@ type Server struct {
 	queue   *jobs.Queue
 	cache   *rescache.Cache
 	metrics *telemetry.Registry
+	tracer  *trace.Recorder
+	log     *slog.Logger
+	reqID   atomic.Int64
 	mux     *http.ServeMux
 	http    *http.Server
 
@@ -154,11 +180,14 @@ func New(cfg Config) (*Server, error) {
 		queue:   queue,
 		cache:   cache,
 		metrics: cfg.Metrics,
+		tracer:  trace.NewRecorder(cfg.TraceCapacity),
+		log:     cfg.Log,
 		mux:     http.NewServeMux(),
 		tables:  roughsim.NewTableCache(cfg.TableCacheSize, cfg.Metrics),
 		sims:    map[rescache.Key]*roughsim.Simulation{},
 		flights: map[rescache.Key]*sweepFlight{},
 	}
+	queue.SetTracer(s.tracer)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
@@ -168,6 +197,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.http = &http.Server{Handler: s.instrument(s.mux)}
 	return s, nil
 }
@@ -190,12 +228,71 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return herr
 }
 
-// instrument counts requests around the mux.
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// flushWriter adds Flush only when the wrapped writer supports it, so
+// handleStream's Flusher check still reflects the real connection.
+type flushWriter struct {
+	*statusWriter
+	fl http.Flusher
+}
+
+func (fw *flushWriter) Flush() { fw.fl.Flush() }
+
+// instrument counts requests and writes one structured log line per
+// request, scoped by a monotonically increasing request ID.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Counter("server.requests").Inc()
-		next.ServeHTTP(w, r)
+		id := s.reqID.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		var out http.ResponseWriter = sw
+		if fl, ok := w.(http.Flusher); ok {
+			out = &flushWriter{statusWriter: sw, fl: fl}
+		}
+		next.ServeHTTP(out, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.log.Info("request",
+			"req_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"duration", time.Since(start).Round(time.Microsecond).String(),
+		)
 	})
+}
+
+// statusPayload is the job-status JSON: the queue's Info plus the
+// compact per-stage trace rollup (omitted when tracing is off).
+type statusPayload struct {
+	jobs.Info
+	Trace *trace.StageSummary `json:"trace,omitempty"`
+}
+
+func (s *Server) status(j *jobs.Job) statusPayload {
+	return statusPayload{Info: j.Snapshot(), Trace: j.Trace().Stages()}
 }
 
 // simFor returns (building on first use) the Simulation for the
@@ -349,7 +446,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, job.Snapshot())
+	writeJSON(w, http.StatusAccepted, s.status(job))
 }
 
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
@@ -363,7 +460,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.job(w, r); ok {
-		writeJSON(w, http.StatusOK, j.Snapshot())
+		writeJSON(w, http.StatusOK, s.status(j))
 	}
 }
 
@@ -373,7 +470,28 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	s.queue.Cancel(r.PathValue("id"))
 	j, _ := s.queue.Get(r.PathValue("id"))
-	writeJSON(w, http.StatusOK, j.Snapshot())
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// handleTrace serves the full span tree of one job's trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.tracer.Get(r.PathValue("id"))
+	if tr == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no trace for job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Summary())
+}
+
+// handleTraces serves the per-stage rollups of recent traces, newest
+// first (?n= bounds the count).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	sums := s.tracer.Recent(n)
+	if sums == nil {
+		sums = []*trace.StageSummary{}
+	}
+	writeJSON(w, http.StatusOK, sums)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -394,6 +512,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, status, err)
 		return
+	}
+	// The result body stays byte-diffable with `roughsim -json`; the
+	// trace travels out of band.
+	if id := j.Trace().ID(); id != "" {
+		w.Header().Set("X-Trace-ID", id)
 	}
 	writeJSON(w, http.StatusOK, v)
 }
@@ -425,29 +548,41 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		fl.Flush()
 		return nil
 	}
-	ticker := time.NewTicker(50 * time.Millisecond)
-	defer ticker.Stop()
+	// Event-driven: the handler sleeps on the job's broadcast channel and
+	// wakes only on actual state changes — no polling tick. Subscribing
+	// before snapshotting makes missed updates impossible: any change
+	// after the snapshot closes the channel we are about to select on.
 	var last jobs.Info
 	for {
+		ch := j.Changed()
 		info := j.Snapshot()
 		if info.Done != last.Done || info.Status != last.Status {
-			if emit("progress", info) != nil {
+			if err := emit("progress", info); err != nil {
+				s.streamClosed(info.ID, err)
 				return
 			}
 			last = info
+			continue // drain further changes before sleeping
 		}
 		if info.Status.Terminal() {
-			emit("done", info)
+			if err := emit("done", statusPayload{Info: info, Trace: j.Trace().Stages()}); err != nil {
+				s.streamClosed(info.ID, err)
+			}
 			return
 		}
 		select {
-		case <-j.Done():
-			// Loop once more to emit the terminal snapshot.
-		case <-ticker.C:
+		case <-ch:
 		case <-r.Context().Done():
 			return
 		}
 	}
+}
+
+// streamClosed accounts an SSE write that failed because the client
+// went away (the terminal-event error the old loop silently dropped).
+func (s *Server) streamClosed(jobID string, err error) {
+	s.metrics.Counter("stream.client_gone").Inc()
+	s.log.Warn("stream write failed", "job", jobID, "err", err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -17,6 +18,7 @@ import (
 	"roughsim"
 	"roughsim/internal/jobs"
 	"roughsim/internal/telemetry"
+	"roughsim/internal/trace"
 )
 
 // tinyConfig is a sweep small enough to solve in well under a second:
@@ -418,4 +420,232 @@ func (r *recorder) Write(b []byte) (int, error) {
 		r.status = http.StatusOK
 	}
 	return r.buf.Write(b)
+}
+
+// TestStreamManyClientsEventDriven fans many SSE clients onto one
+// controlled job: every client must observe the terminal event with the
+// final progress, and the handlers sleep on the job's broadcast channel
+// between changes (run under -race by scripts/verify.sh).
+func TestStreamManyClientsEventDriven(t *testing.T) {
+	ts := startServer(t, Config{})
+	defer ts.shutdown(t)
+	step := make(chan struct{})
+	j, err := ts.srv.queue.Submit(func(ctx context.Context, progress func(int, int)) (any, error) {
+		progress(0, 3)
+		for i := 1; i <= 3; i++ {
+			select {
+			case <-step:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			progress(i, 3)
+		}
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 25
+	finals := make([]jobs.Info, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, err := ts.client.Get(ts.base + "/v1/sweeps/" + j.ID + "/stream")
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			var lastData string
+			sawDone := false
+			for sc.Scan() {
+				line := sc.Text()
+				if strings.HasPrefix(line, "data: ") {
+					lastData = strings.TrimPrefix(line, "data: ")
+				}
+				if line == "event: done" {
+					sawDone = true
+				}
+			}
+			if !sawDone {
+				errs[c] = fmt.Errorf("stream ended without done event (last %q)", lastData)
+				return
+			}
+			errs[c] = json.Unmarshal([]byte(lastData), &finals[c])
+		}(c)
+	}
+	time.Sleep(50 * time.Millisecond) // let clients attach mid-run
+	for i := 0; i < 3; i++ {
+		step <- struct{}{}
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+	for c := range errs {
+		if errs[c] != nil {
+			t.Fatalf("client %d: %v", c, errs[c])
+		}
+		if finals[c].Status != jobs.StatusSucceeded || finals[c].Done != 3 || finals[c].Total != 3 {
+			t.Fatalf("client %d final snapshot: %+v", c, finals[c])
+		}
+	}
+}
+
+// spanNames flattens a span subtree into the set of span names.
+func spanNames(s *trace.SpanSummary, into map[string]bool) {
+	if s == nil {
+		return
+	}
+	into[s.Name] = true
+	for _, c := range s.Children {
+		spanNames(c, into)
+	}
+}
+
+// TestTraceEndToEnd runs concurrent sweeps through the full HTTP tier
+// and checks the observability surface: nested span trees at
+// /debug/trace/{id}, stage rollups + queue wait in job status, the
+// X-Trace-ID result header, recent-trace listing, and the stage
+// histograms in the Prometheus exposition.
+func TestTraceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	ts := startServer(t, Config{Workers: 2})
+	defer ts.shutdown(t)
+
+	cfgs := []roughsim.SweepConfig{tinyConfig(5e9, 8e9), tinyConfig(6e9)}
+	ids := make([]string, len(cfgs))
+	for i := range cfgs {
+		code, body := ts.do(t, "POST", "/v1/sweeps", cfgs[i])
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", code, body)
+		}
+		var info jobs.Info
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+	for _, id := range ids {
+		ts.waitResult(t, id)
+	}
+
+	for _, id := range ids {
+		code, body := ts.do(t, "GET", "/debug/trace/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("trace %s: %d %s", id, code, body)
+		}
+		var sum trace.Summary
+		if err := json.Unmarshal(body, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if sum.ID != id || sum.Spans == nil || sum.Spans.Name != "job" || sum.Spans.InProgress {
+			t.Fatalf("trace root: %+v", sum)
+		}
+		var run *trace.SpanSummary
+		rootKids := map[string]bool{}
+		for _, c := range sum.Spans.Children {
+			rootKids[c.Name] = true
+			if c.Name == "job.run" {
+				run = c
+			}
+		}
+		if !rootKids["queue.wait"] || run == nil {
+			t.Fatalf("root children: %v", rootKids)
+		}
+		nested := map[string]bool{}
+		spanNames(run, nested)
+		for _, want := range []string{"sweep.synthesize", "mom.assemble", "mom.solve"} {
+			if !nested[want] {
+				t.Fatalf("span %q missing under job.run: %v", want, nested)
+			}
+		}
+
+		// The status payload carries the compact rollup and queue wait.
+		code, body = ts.do(t, "GET", "/v1/sweeps/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("status: %d %s", code, body)
+		}
+		var st struct {
+			jobs.Info
+			Trace *trace.StageSummary `json:"trace"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.QueueWaitSeconds <= 0 {
+			t.Fatalf("queue_wait_seconds missing from status: %s", body)
+		}
+		if st.Trace == nil || st.Trace.ID != id {
+			t.Fatalf("status trace rollup: %s", body)
+		}
+		stages := map[string]bool{}
+		for _, sg := range st.Trace.Stages {
+			stages[sg.Name] = true
+		}
+		if !stages["queue.wait"] || !stages["job.run"] || !stages["mom.solve"] {
+			t.Fatalf("rollup stages: %v", stages)
+		}
+	}
+
+	// /result carries the trace out of band.
+	resp, err := ts.client.Get(ts.base + "/v1/sweeps/" + ids[0] + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-ID"); got != ids[0] {
+		t.Fatalf("X-Trace-ID = %q, want %q", got, ids[0])
+	}
+
+	// Recent traces, newest first.
+	code, body := ts.do(t, "GET", "/debug/traces?n=10", nil)
+	if code != http.StatusOK {
+		t.Fatalf("traces: %d %s", code, body)
+	}
+	var recent []trace.StageSummary
+	if err := json.Unmarshal(body, &recent); err != nil {
+		t.Fatal(err)
+	}
+	if len(recent) < 2 {
+		t.Fatalf("recent traces = %d, want ≥ 2", len(recent))
+	}
+
+	// The Prometheus exposition includes the per-stage histograms the CI
+	// smoke test scrapes for.
+	code, body = ts.do(t, "GET", "/metrics?format=prometheus", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE queue_wait_seconds histogram",
+		"# TYPE sweep_stage_seconds histogram",
+		`sweep_stage_seconds_bucket{stage="mom.solve",le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestPprofIsOptIn: the profiler mounts only when asked for.
+func TestPprofIsOptIn(t *testing.T) {
+	ts := startServer(t, Config{EnablePprof: true})
+	code, body := ts.do(t, "GET", "/debug/pprof/", nil)
+	if code != http.StatusOK || !strings.Contains(string(body), "profile") {
+		t.Fatalf("pprof index: %d %s", code, body)
+	}
+	ts.shutdown(t)
+
+	ts = startServer(t, Config{})
+	defer ts.shutdown(t)
+	if code, _ := ts.do(t, "GET", "/debug/pprof/", nil); code != http.StatusNotFound {
+		t.Fatalf("pprof mounted without opt-in: %d", code)
+	}
 }

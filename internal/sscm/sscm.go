@@ -26,6 +26,7 @@ import (
 	"roughsim/internal/rng"
 	"roughsim/internal/specfun"
 	"roughsim/internal/telemetry"
+	"roughsim/internal/trace"
 )
 
 // Evaluator maps KL coordinates ξ (length d) to the scalar quantity of
@@ -160,6 +161,10 @@ func Run(ctx context.Context, d, order int, eval Evaluator, opt Options) (*Resul
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	_, sp := trace.StartSpan(ctx, "sscm.run")
+	sp.SetAttr("dim", d)
+	sp.SetAttr("order", order)
+	defer sp.End()
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()

@@ -43,6 +43,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"roughsim/internal/cmplxmat"
 	"roughsim/internal/core"
@@ -51,7 +52,14 @@ import (
 	"roughsim/internal/sscm"
 	"roughsim/internal/surface"
 	"roughsim/internal/telemetry"
+	"roughsim/internal/trace"
 )
+
+// observeStage feeds the shared per-stage histogram (see core's
+// counterpart — the series name must match across tiers).
+func (e *Engine) observeStage(stage string, seconds float64) {
+	e.Metrics.HistogramL("sweep.stage_seconds", nil, telemetry.L("stage", stage)).Observe(seconds)
+}
 
 // Engine plans and executes batched sweeps over a prebuilt solver and
 // surface process. Configure the exported fields before Run; the zero
@@ -120,19 +128,28 @@ func (e *Engine) Run(ctx context.Context, freqs []float64) (*Result, error) {
 	// the surface process is frequency-independent, so this is per
 	// sweep, not per point. Exactly flat realizations (the grid's
 	// center node) need no solve at all: K = Pabs/Pabs ≡ 1.
+	_, synthSpan := trace.StartSpan(ctx, "sweep.synthesize")
+	synthStart := time.Now()
 	surfs := make([]*surface.Surface, len(nodes))
 	flat := make([]bool, len(nodes))
+	nflat := 0
 	for j, xi := range nodes {
 		s := e.Synth(xi)
 		if maxAbs(s.H) == 0 {
 			flat[j] = true
+			nflat++
 			continue
 		}
 		if _, err := core.CheckResolution(s); err != nil {
+			synthSpan.End()
 			return nil, err
 		}
 		surfs[j] = s
 	}
+	synthSpan.SetAttr("nodes", len(nodes))
+	synthSpan.SetAttr("flat", nflat)
+	synthSpan.End()
+	e.observeStage("sweep.synthesize", time.Since(synthStart).Seconds())
 
 	fmin, fmax := freqs[0], freqs[0]
 	for _, f := range freqs[1:] {
@@ -143,24 +160,41 @@ func (e *Engine) Run(ctx context.Context, freqs []float64) (*Result, error) {
 	var vals [][]float64
 	if anchors < len(freqs) && fmax > fmin {
 		e.Metrics.Counter("sweep.interp_freqs").Add(int64(len(freqs)))
-		vals, err = e.interpSweep(ctx, freqs, fmin, fmax, anchors, surfs, flat)
+		sctx, span := trace.StartSpan(ctx, "sweep.interp")
+		span.SetAttr("freqs", len(freqs))
+		span.SetAttr("anchors", anchors)
+		start := time.Now()
+		vals, err = e.interpSweep(sctx, freqs, fmin, fmax, anchors, surfs, flat)
+		span.End()
+		e.observeStage("sweep.interp", time.Since(start).Seconds())
 	} else {
 		anchors = 0
 		e.Metrics.Counter("sweep.exact_freqs").Add(int64(len(freqs)))
-		vals, err = e.exactSweep(ctx, freqs, surfs, flat)
+		sctx, span := trace.StartSpan(ctx, "sweep.exact")
+		span.SetAttr("freqs", len(freqs))
+		start := time.Now()
+		vals, err = e.exactSweep(sctx, freqs, surfs, flat)
+		span.End()
+		e.observeStage("sweep.exact", time.Since(start).Seconds())
 	}
 	if err != nil {
 		return nil, err
 	}
 
+	// Fit the PC surrogate per frequency from the collocation values.
+	_, fitSpan := trace.StartSpan(ctx, "surrogate.fit")
+	fitStart := time.Now()
 	res := &Result{Mean: make([]float64, len(freqs)), AnchorsUsed: anchors}
 	for fi := range freqs {
 		r, err := sscm.FromValues(e.Dim, order, vals[fi])
 		if err != nil {
+			fitSpan.End()
 			return nil, err
 		}
 		res.Mean[fi] = r.PCE.Mean()
 	}
+	fitSpan.End()
+	e.observeStage("surrogate.fit", time.Since(fitStart).Seconds())
 	e.progress(len(freqs), len(freqs))
 	return res, nil
 }
@@ -221,7 +255,7 @@ func (e *Engine) exactSweep(ctx context.Context, freqs []float64, surfs []*surfa
 			if err != nil {
 				return err
 			}
-			sys, err := e.Solver.AssembleSurface(surfs[j], f, inner)
+			sys, err := e.Solver.AssembleSurfaceCtx(ctx, surfs[j], f, inner)
 			if err != nil {
 				return err
 			}
@@ -296,7 +330,7 @@ func (e *Engine) sweepPabs(ctx context.Context, surf *surface.Surface, xs []floa
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sys, err := e.Solver.AssembleSurface(surf, x*x, e.workers())
+		sys, err := e.Solver.AssembleSurfaceCtx(ctx, surf, x*x, e.workers())
 		if err != nil {
 			return nil, err
 		}

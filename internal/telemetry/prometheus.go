@@ -1,0 +1,192 @@
+package telemetry
+
+// Hand-rolled Prometheus text exposition (format version 0.0.4) of the
+// registry — no client_golang dependency. The mapping from the
+// registry's dotted names:
+//
+//   - names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* (dots → "_");
+//   - counters and gauges emit one sample per labeled series;
+//   - histograms emit cumulative name_bucket{le="…"} samples (with the
+//     mandatory le="+Inf"), name_sum and name_count, and — because this
+//     registry rejects non-finite observations instead of poisoning the
+//     sum — a name_dropped counter with the rejected-sample count;
+//   - output is fully deterministic: families sort by output name,
+//     series by their canonical label encoding (golden-testable).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the whole registry in Prometheus text
+// exposition format. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Snapshot the entries under the read lock, then format outside it.
+	r.mu.RLock()
+	counters := make([]*counterEntry, 0, len(r.counters))
+	for _, e := range r.counters {
+		counters = append(counters, e)
+	}
+	gauges := make([]*gaugeEntry, 0, len(r.gauges))
+	for _, e := range r.gauges {
+		gauges = append(gauges, e)
+	}
+	histograms := make([]*histogramEntry, 0, len(r.histograms))
+	for _, e := range r.histograms {
+		histograms = append(histograms, e)
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	writeFamilies(&b, "counter", counters, func(b *strings.Builder, e *counterEntry) {
+		fmt.Fprintf(b, "%s%s %d\n", promName(e.name), promLabels(e.labels, "", 0), e.c.Value())
+	})
+	writeFamilies(&b, "gauge", gauges, func(b *strings.Builder, e *gaugeEntry) {
+		fmt.Fprintf(b, "%s%s %s\n", promName(e.name), promLabels(e.labels, "", 0), promFloat(e.g.Value()))
+	})
+	writeHistograms(&b, histograms)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// entryLike lets writeFamilies sort and group the three metric kinds
+// with one implementation.
+type entryLike interface {
+	ident() series
+}
+
+func (s series) ident() series { return s }
+
+// writeFamilies groups entries by metric name, emits one # TYPE line
+// per family and one sample line per series, all deterministically
+// sorted.
+func writeFamilies[E entryLike](b *strings.Builder, typ string, entries []E, emit func(*strings.Builder, E)) {
+	sort.Slice(entries, func(i, j int) bool {
+		si, sj := entries[i].ident(), entries[j].ident()
+		if si.name != sj.name {
+			return si.name < sj.name
+		}
+		return seriesKey(si.name, si.labels) < seriesKey(sj.name, sj.labels)
+	})
+	last := ""
+	for _, e := range entries {
+		s := e.ident()
+		if s.name != last {
+			fmt.Fprintf(b, "# TYPE %s %s\n", promName(s.name), typ)
+			last = s.name
+		}
+		emit(b, e)
+	}
+}
+
+// writeHistograms emits the histogram families: cumulative buckets with
+// the mandatory +Inf, _sum, _count, and a _dropped counter family for
+// the non-finite observations the registry rejected.
+func writeHistograms(b *strings.Builder, entries []*histogramEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return seriesKey(entries[i].name, entries[i].labels) < seriesKey(entries[j].name, entries[j].labels)
+	})
+	last := ""
+	for _, e := range entries {
+		name := promName(e.name)
+		if e.name != last {
+			fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+			last = e.name
+		}
+		h := e.h
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", name, promLabels(e.labels, "le", bound), cum)
+		}
+		count := h.Count()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, promLabelsInf(e.labels), count)
+		fmt.Fprintf(b, "%s_sum%s %s\n", name, promLabels(e.labels, "", 0), promFloat(h.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", name, promLabels(e.labels, "", 0), count)
+	}
+	// Dropped-sample counters ride in their own family per histogram
+	// name, after all histogram families (they are a different type).
+	last = ""
+	for _, e := range entries {
+		if e.name != last {
+			fmt.Fprintf(b, "# TYPE %s_dropped counter\n", promName(e.name))
+			last = e.name
+		}
+		fmt.Fprintf(b, "%s_dropped%s %d\n", promName(e.name), promLabels(e.labels, "", 0), e.h.Dropped())
+	}
+}
+
+// promName sanitizes a dotted metric name into the Prometheus
+// identifier alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promLabels renders the label set, optionally with a trailing le
+// bucket label (leKey non-empty). Returns "" for an empty set.
+func promLabels(labels []Label, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		b.WriteString(promFloat(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promLabelsInf renders the label set with le="+Inf".
+func promLabelsInf(labels []Label) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range labels {
+		b.WriteString(promName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`",`)
+	}
+	b.WriteString(`le="+Inf"}`)
+	return b.String()
+}
+
+// promFloat formats a float the way the exposition format expects.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"flag"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a deterministic registry exercising every
+// exposition feature: plain and labeled counters/gauges, custom-bucket
+// histograms with the +Inf bucket, label escaping, and the
+// dropped-sample counter fed by a NaN observation.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("cache.hits").Add(42)
+	r.CounterL("solve.stage_win", L("stage", "gmres")).Add(7)
+	r.CounterL("solve.stage_win", L("stage", "lu")).Inc()
+	r.Gauge("queue.depth").Set(3)
+	r.GaugeL("pool.size", L("tier", "we\"ird\\va\nlue")).Set(1.5)
+	h := r.HistogramBuckets("queue.wait_seconds", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.05, 5, math.NaN()} {
+		h.Observe(v)
+	}
+	hl := r.HistogramL("sweep.stage_seconds", []float64{0.1, 1}, L("stage", "solve"))
+	hl.Observe(0.5)
+	hl.Observe(math.Inf(1))
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusParses walks the exposition line by line with the
+// grammar every Prometheus scraper applies: comment lines are # TYPE
+// or # HELP, sample lines are <name>[{labels}] <value> with balanced
+// quotes, and histogram bucket counts are cumulative.
+func TestPrometheusParses(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	assertPrometheusParses(t, b.String())
+}
+
+// assertPrometheusParses is shared with the server's e2e scrape test.
+func assertPrometheusParses(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.Fields(line)
+			if len(parts) < 4 || parts[1] != "TYPE" {
+				t.Fatalf("line %d: bad comment %q", ln+1, line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		// <name>[{labels}] <value>
+		rest := line
+		name := rest
+		if i := strings.IndexAny(rest, "{ "); i >= 0 {
+			name = rest[:i]
+		}
+		if name == "" || !isPromName(name) {
+			t.Fatalf("line %d: bad metric name in %q", ln+1, line)
+		}
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			j := strings.LastIndexByte(rest, '}')
+			if j < i {
+				t.Fatalf("line %d: unbalanced braces %q", ln+1, line)
+			}
+			if unescapedQuotes(rest[i:j+1])%2 != 0 {
+				t.Fatalf("line %d: unbalanced quotes %q", ln+1, line)
+			}
+			rest = rest[j+1:]
+		} else {
+			rest = rest[len(name):]
+		}
+		val := strings.TrimSpace(rest)
+		if val == "" || strings.ContainsAny(val, " \t") {
+			t.Fatalf("line %d: bad value %q", ln+1, line)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if typed[name] == "" && typed[base] == "" {
+			t.Fatalf("line %d: sample %q precedes its # TYPE", ln+1, name)
+		}
+	}
+	if len(typed) == 0 {
+		t.Fatal("no typed families in exposition")
+	}
+}
+
+// unescapedQuotes counts quote characters that are not backslash
+// escaped (the label-value escaping rule of the text format).
+func unescapedQuotes(s string) int {
+	n, esc := 0, false
+	for _, r := range s {
+		switch {
+		case esc:
+			esc = false
+		case r == '\\':
+			esc = true
+		case r == '"':
+			n++
+		}
+	}
+	return n
+}
+
+func isPromName(s string) bool {
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// TestHandlerContentNegotiation: JSON stays the default; Prometheus
+// text is served on ?format=prometheus and on scraper Accept headers.
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := goldenRegistry()
+	h := r.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type = %q", ct)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prometheus content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "# TYPE cache_hits counter") {
+		t.Fatalf("no exposition body: %s", rec.Body.String())
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("scraper Accept served %q", ct)
+	}
+	assertPrometheusParses(t, rec.Body.String())
+}

@@ -1,7 +1,8 @@
 // Package telemetry is the observability layer of the service tier: a
-// small metrics registry (counters, gauges, histograms) shared by the
-// solver core, the stochastic drivers, the result cache and the job
-// queue, with an expvar-style JSON snapshot served at /metrics.
+// small metrics registry (counters, gauges, histograms — optionally
+// labeled) shared by the solver core, the stochastic drivers, the
+// result cache and the job queue, with an expvar-style JSON snapshot
+// and a Prometheus text exposition served at /metrics.
 //
 // The design constraints, in order:
 //
@@ -16,7 +17,8 @@
 //     solve latency and fallback-stage counts are observable together.
 //
 // Metric names are flat dotted strings ("cache.hits", "solve.seconds");
-// the full catalogue is documented in DESIGN.md §8.
+// labeled series append a canonical {k="v"} suffix. The full catalogue
+// is documented in DESIGN.md §8 and §10.
 package telemetry
 
 import (
@@ -25,6 +27,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -90,29 +93,47 @@ func (g *Gauge) Value() float64 {
 
 // Histogram accumulates observations into fixed cumulative buckets
 // (Prometheus-style "le" semantics) plus a running count and sum.
+// Non-finite observations are rejected into a dropped-sample counter:
+// a single NaN folded into the CAS sum loop would poison Sum() forever
+// and break the JSON exposition (encoding/json rejects NaN).
 type Histogram struct {
-	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
-	counts []atomic.Int64
-	count  atomic.Int64
-	sum    atomic.Uint64 // float bits, CAS-updated
+	bounds  []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Uint64 // float bits, CAS-updated
+	dropped atomic.Int64  // non-finite observations rejected
 }
 
 // DefBuckets are the default latency buckets in seconds: 1 ms … ~524 s
 // in powers of two, wide enough for both a single Clenshaw-table solve
 // and a full high-resolution sweep.
-var DefBuckets = func() []float64 {
-	b := make([]float64, 20)
-	v := 1e-3
+var DefBuckets = ExpBuckets(1e-3, 2, 20)
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start and growing by factor — the shape latency distributions want.
+// Invalid arguments yield nil, which every histogram constructor treats
+// as "use DefBuckets".
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	b := make([]float64, n)
+	v := start
 	for i := range b {
 		b[i] = v
-		v *= 2
+		v *= factor
 	}
 	return b
-}()
+}
 
-// Observe records one sample (no-op on a nil receiver).
+// Observe records one sample (no-op on a nil receiver). NaN and ±Inf
+// samples are counted in Dropped instead of being folded in.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.dropped.Add(1)
 		return
 	}
 	// First bucket whose bound is ≥ v; sort.SearchFloat64s is fine here
@@ -131,7 +152,7 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
-// Count returns the number of observations.
+// Count returns the number of (finite) observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
@@ -147,94 +168,218 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Dropped returns how many non-finite observations were rejected.
+func (h *Histogram) Dropped() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.dropped.Load()
+}
+
+// Label is one key/value dimension of a labeled metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesKey canonically encodes a metric name plus labels: the plain
+// name when unlabeled (so existing JSON snapshot keys are unchanged),
+// otherwise name{k="v",…} with keys sorted. The encoded form is both
+// the registry map key and the JSON snapshot key.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// series carries the decoded identity of one registered metric, kept
+// alongside the metric so the Prometheus writer never re-parses keys.
+type series struct {
+	name   string
+	labels []Label // canonically sorted
+}
+
+type counterEntry struct {
+	series
+	c *Counter
+}
+type gaugeEntry struct {
+	series
+	g *Gauge
+}
+type histogramEntry struct {
+	series
+	h *Histogram
+}
+
 // Registry is a named collection of metrics. The zero value is not
 // usable; construct with NewRegistry. A nil *Registry is a valid no-op
 // sink: Counter/Gauge/Histogram return nil metrics whose methods do
 // nothing.
 type Registry struct {
 	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*counterEntry
+	gauges     map[string]*gaugeEntry
+	histograms map[string]*histogramEntry
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
+		counters:   map[string]*counterEntry{},
+		gauges:     map[string]*gaugeEntry{},
+		histograms: map[string]*histogramEntry{},
 	}
+}
+
+// sortedLabels returns a canonically sorted copy.
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
 }
 
 // Counter returns (creating on first use) the named counter.
-func (r *Registry) Counter(name string) *Counter {
+func (r *Registry) Counter(name string) *Counter { return r.CounterL(name) }
+
+// CounterL returns (creating on first use) the labeled counter series.
+func (r *Registry) CounterL(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
+	key := seriesKey(name, labels)
 	r.mu.RLock()
-	c, ok := r.counters[name]
+	e, ok := r.counters[key]
 	r.mu.RUnlock()
 	if ok {
-		return c
+		return e.c
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if c, ok = r.counters[name]; ok {
-		return c
+	if e, ok = r.counters[key]; ok {
+		return e.c
 	}
-	c = &Counter{}
-	r.counters[name] = c
-	return c
+	e = &counterEntry{series: series{name: name, labels: sortedLabels(labels)}, c: &Counter{}}
+	r.counters[key] = e
+	return e.c
 }
 
 // Gauge returns (creating on first use) the named gauge.
-func (r *Registry) Gauge(name string) *Gauge {
+func (r *Registry) Gauge(name string) *Gauge { return r.GaugeL(name) }
+
+// GaugeL returns (creating on first use) the labeled gauge series.
+func (r *Registry) GaugeL(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
+	key := seriesKey(name, labels)
 	r.mu.RLock()
-	g, ok := r.gauges[name]
+	e, ok := r.gauges[key]
 	r.mu.RUnlock()
 	if ok {
-		return g
+		return e.g
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if g, ok = r.gauges[name]; ok {
-		return g
+	if e, ok = r.gauges[key]; ok {
+		return e.g
 	}
-	g = &Gauge{}
-	r.gauges[name] = g
-	return g
+	e = &gaugeEntry{series: series{name: name, labels: sortedLabels(labels)}, g: &Gauge{}}
+	r.gauges[key] = e
+	return e.g
 }
 
 // Histogram returns (creating on first use) the named histogram with
 // DefBuckets bounds.
-func (r *Registry) Histogram(name string) *Histogram {
+func (r *Registry) Histogram(name string) *Histogram { return r.HistogramL(name, nil) }
+
+// HistogramBuckets returns (creating on first use) the named histogram
+// with custom bucket bounds (sorted ascending; nil selects DefBuckets).
+// Bounds are fixed at creation: later calls with different bounds
+// return the existing histogram.
+func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
+	return r.HistogramL(name, bounds)
+}
+
+// HistogramL returns (creating on first use) the labeled histogram
+// series with the given bucket bounds (nil selects DefBuckets).
+func (r *Registry) HistogramL(name string, bounds []float64, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
 	}
+	key := seriesKey(name, labels)
 	r.mu.RLock()
-	h, ok := r.histograms[name]
+	e, ok := r.histograms[key]
 	r.mu.RUnlock()
 	if ok {
-		return h
+		return e.h
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if h, ok = r.histograms[name]; ok {
-		return h
+	if e, ok = r.histograms[key]; ok {
+		return e.h
 	}
-	h = &Histogram{bounds: DefBuckets, counts: make([]atomic.Int64, len(DefBuckets))}
-	r.histograms[name] = h
-	return h
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	} else {
+		bounds = append([]float64(nil), bounds...)
+		sort.Float64s(bounds)
+	}
+	e = &histogramEntry{
+		series: series{name: name, labels: sortedLabels(labels)},
+		h:      &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))},
+	}
+	r.histograms[key] = e
+	return e.h
 }
 
 // HistogramSnapshot is the exported state of one histogram.
 type HistogramSnapshot struct {
 	Count   int64   `json:"count"`
 	Sum     float64 `json:"sum"`
+	Dropped int64   `json:"dropped,omitempty"`
 	Buckets []struct {
 		LE    float64 `json:"le"`
 		Count int64   `json:"count"`
@@ -242,6 +387,7 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot is a point-in-time copy of every metric, shaped for JSON.
+// Labeled series appear under their canonical name{k="v"} key.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
@@ -261,14 +407,15 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
+	for key, e := range r.counters {
+		s.Counters[key] = e.c.Value()
 	}
-	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
+	for key, e := range r.gauges {
+		s.Gauges[key] = e.g.Value()
 	}
-	for name, h := range r.histograms {
-		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	for key, e := range r.histograms {
+		h := e.h
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Dropped: h.Dropped()}
 		cum := int64(0)
 		for i, b := range h.bounds {
 			cum += h.counts[i].Load()
@@ -277,15 +424,25 @@ func (r *Registry) Snapshot() Snapshot {
 				Count int64   `json:"count"`
 			}{b, cum})
 		}
-		s.Histograms[name] = hs
+		s.Histograms[key] = hs
 	}
 	return s
 }
 
-// Handler serves the registry snapshot as indented JSON — the /metrics
-// endpoint of roughsimd.
+// Handler serves the registry as the /metrics endpoint of roughsimd:
+// an indented JSON snapshot by default, or Prometheus text exposition
+// when the request asks for it (?format=prometheus, or an Accept
+// header naming text/plain or openmetrics — what Prometheus scrapers
+// send).
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if wantsPrometheus(req) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := r.WritePrometheus(w); err != nil {
+				http.Error(w, fmt.Sprintf("telemetry: %v", err), http.StatusInternalServerError)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -293,4 +450,18 @@ func (r *Registry) Handler() http.Handler {
 			http.Error(w, fmt.Sprintf("telemetry: %v", err), http.StatusInternalServerError)
 		}
 	})
+}
+
+// wantsPrometheus decides the exposition format of one request. An
+// explicit ?format= wins; otherwise the Accept header decides (JSON
+// stays the default for bare curl / existing clients).
+func wantsPrometheus(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := req.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }

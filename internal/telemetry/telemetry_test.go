@@ -91,6 +91,93 @@ func TestConcurrentMutation(t *testing.T) {
 	}
 }
 
+// TestHistogramRejectsNonFinite is the regression test for the
+// sum-poisoning bug: a NaN (or ±Inf) observation must not corrupt
+// Sum(), must not count as an observation, and must leave the JSON
+// exposition of /metrics serviceable. Rejected samples are accounted
+// in Dropped.
+func TestHistogramRejectsNonFinite(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(1.5)
+	if got := h.Sum(); got != 2.0 {
+		t.Fatalf("sum poisoned: %g, want 2", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2 (non-finite must not count)", got)
+	}
+	if got := h.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	// The exposition endpoint must keep working: encoding/json rejects
+	// NaN, so a poisoned sum would 500 the /metrics handler.
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d after NaN observation: %s", rec.Code, rec.Body.String())
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot unmarshal: %v", err)
+	}
+	if s.Histograms["lat"].Dropped != 3 {
+		t.Fatalf("snapshot dropped = %d, want 3", s.Histograms["lat"].Dropped)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	r.CounterL("wins", L("stage", "gmres")).Add(3)
+	r.CounterL("wins", L("stage", "lu")).Add(1)
+	// Label order must not matter: the series key is canonical.
+	a := r.CounterL("multi", L("b", "2"), L("a", "1"))
+	b := r.CounterL("multi", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order created distinct series")
+	}
+	a.Inc()
+	s := r.Snapshot()
+	if s.Counters[`wins{stage="gmres"}`] != 3 || s.Counters[`wins{stage="lu"}`] != 1 {
+		t.Fatalf("labeled snapshot keys: %+v", s.Counters)
+	}
+	if s.Counters[`multi{a="1",b="2"}`] != 1 {
+		t.Fatalf("canonical multi-label key missing: %+v", s.Counters)
+	}
+	// Nil registry stays a no-op for the labeled API too.
+	var nr *Registry
+	nr.CounterL("x", L("k", "v")).Inc()
+	nr.HistogramL("y", nil, L("k", "v")).Observe(1)
+}
+
+func TestCustomBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("wait", []float64{0.01, 0.1, 1})
+	h.Observe(0.05)
+	h.Observe(20)
+	s := r.Snapshot().Histograms["wait"]
+	if len(s.Buckets) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(s.Buckets))
+	}
+	if s.Buckets[0].Count != 0 || s.Buckets[1].Count != 1 || s.Buckets[2].Count != 1 {
+		t.Fatalf("cumulative custom buckets wrong: %+v", s.Buckets)
+	}
+	if s.Count != 2 {
+		t.Fatalf("count = %d (the 20 lands only in +Inf)", s.Count)
+	}
+	// First creation wins: a later call with different bounds returns
+	// the same histogram.
+	if r.HistogramBuckets("wait", []float64{5}) != h {
+		t.Fatal("re-registration changed the histogram")
+	}
+	if got := ExpBuckets(1e-4, 4, 3); len(got) != 3 || got[2] != 1.6e-3 {
+		t.Fatalf("ExpBuckets: %v", got)
+	}
+}
+
 func TestHandlerServesJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("cache.hits").Add(3)

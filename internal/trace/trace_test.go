@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Finish()
+	if tr.Summary() != nil || tr.Stages() != nil || tr.ID() != "" {
+		t.Fatal("nil trace should export nothing")
+	}
+	var sp *Span
+	sp.End()
+	sp.SetAttr("k", 1)
+	if c := sp.StartChild("x"); c != nil {
+		t.Fatalf("nil span child = %v", c)
+	}
+	var rec *Recorder
+	if rec.New("a") != nil || rec.Get("a") != nil || rec.Recent(5) != nil {
+		t.Fatal("nil recorder should be a no-op")
+	}
+	// An untraced context starts no spans and allocates no trace.
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "stage")
+	if s != nil || ctx2 != ctx {
+		t.Fatal("untraced context must stay untraced")
+	}
+}
+
+func TestSpanTreeAndStages(t *testing.T) {
+	tr := New("job-1")
+	ctx := ContextWithSpan(context.Background(), tr.Root())
+
+	ctx1, a := StartSpan(ctx, "assemble")
+	_, a1 := StartSpan(ctx1, "tables.build")
+	a1.SetAttr("hit", false)
+	time.Sleep(time.Millisecond)
+	a1.End()
+	a.End()
+	_, b := StartSpan(ctx, "solve")
+	b.SetAttr("winner", "gmres")
+	b.SetAttr("winner", "lu") // last wins
+	b.End()
+	tr.Finish()
+
+	sum := tr.Summary()
+	if sum.ID != "job-1" || sum.Spans == nil || sum.Spans.Name != "job" {
+		t.Fatalf("summary root: %+v", sum)
+	}
+	if len(sum.Spans.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(sum.Spans.Children))
+	}
+	asm := sum.Spans.Children[0]
+	if asm.Name != "assemble" || len(asm.Children) != 1 || asm.Children[0].Name != "tables.build" {
+		t.Fatalf("nesting wrong: %+v", asm)
+	}
+	if asm.Children[0].DurationSeconds <= 0 || asm.DurationSeconds < asm.Children[0].DurationSeconds {
+		t.Fatalf("child duration must be positive and ≤ parent: %+v", asm)
+	}
+	if got := sum.Spans.Children[1].Attrs["winner"]; got != "lu" {
+		t.Fatalf("attr = %v, want lu", got)
+	}
+	stages := map[string]StageTotal{}
+	for _, st := range sum.Stages {
+		stages[st.Name] = st
+	}
+	for _, name := range []string{"job", "assemble", "tables.build", "solve"} {
+		if stages[name].Count != 1 {
+			t.Fatalf("stage %q count = %d, want 1 (%+v)", name, stages[name].Count, sum.Stages)
+		}
+	}
+	if _, err := json.Marshal(sum); err != nil {
+		t.Fatalf("summary not JSON-marshalable: %v", err)
+	}
+}
+
+func TestEndIsIdempotentAndInProgress(t *testing.T) {
+	tr := New("j")
+	_, s := StartSpan(ContextWithSpan(context.Background(), tr.Root()), "stage")
+	// A summary of a running trace reports in-progress spans.
+	sum := tr.Summary()
+	if !sum.Spans.InProgress || !sum.Spans.Children[0].InProgress {
+		t.Fatalf("running spans should be in progress: %+v", sum.Spans)
+	}
+	s.End()
+	d1 := tr.Summary().Spans.Children[0].DurationSeconds
+	time.Sleep(2 * time.Millisecond)
+	s.End() // must not extend
+	d2 := tr.Summary().Spans.Children[0].DurationSeconds
+	if d1 != d2 {
+		t.Fatalf("double End extended the span: %g vs %g", d1, d2)
+	}
+}
+
+// TestSpanCapDetachesButAggregates floods one trace past maxSpans: the
+// tree must stay bounded while the per-stage aggregate counts every
+// span.
+func TestSpanCapDetachesButAggregates(t *testing.T) {
+	tr := New("big")
+	n := maxSpans + 500
+	for i := 0; i < n; i++ {
+		sp := tr.Root().StartChild("unit")
+		sp.End()
+	}
+	tr.Finish()
+	sum := tr.Summary()
+	if len(sum.Spans.Children) != maxSpans-1 {
+		t.Fatalf("retained children = %d, want %d", len(sum.Spans.Children), maxSpans-1)
+	}
+	if sum.SpansDropped != int64(n-(maxSpans-1)) {
+		t.Fatalf("dropped = %d, want %d", sum.SpansDropped, n-(maxSpans-1))
+	}
+	var units StageTotal
+	for _, st := range sum.Stages {
+		if st.Name == "unit" {
+			units = st
+		}
+	}
+	if units.Count != int64(n) {
+		t.Fatalf("aggregate count = %d, want %d (dropped spans must still aggregate)", units.Count, n)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New("conc")
+	ctx := ContextWithSpan(context.Background(), tr.Root())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, sp := StartSpan(ctx, "solve")
+				sp.SetAttr("w", w)
+				_, inner := StartSpan(c, "inner")
+				inner.End()
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.Finish()
+	sum := tr.Summary()
+	stages := map[string]StageTotal{}
+	for _, st := range sum.Stages {
+		stages[st.Name] = st
+	}
+	if stages["solve"].Count != 400 || stages["inner"].Count != 400 {
+		t.Fatalf("concurrent aggregate: %+v", sum.Stages)
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	rec := NewRecorder(2)
+	rec.New("a").Finish()
+	rec.New("b").Finish()
+	rec.New("c").Finish()
+	if rec.Get("a") != nil {
+		t.Fatal("oldest trace should be evicted")
+	}
+	if rec.Get("b") == nil || rec.Get("c") == nil {
+		t.Fatal("recent traces missing")
+	}
+	recent := rec.Recent(0)
+	if len(recent) != 2 || recent[0].ID != "c" || recent[1].ID != "b" {
+		t.Fatalf("recent order: %+v", recent)
+	}
+	if one := rec.Recent(1); len(one) != 1 || one[0].ID != "c" {
+		t.Fatalf("recent(1): %+v", one)
+	}
+}

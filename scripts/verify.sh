@@ -10,4 +10,5 @@ go test ./...
 go test -race -short ./internal/montecarlo/... ./internal/sscm/... \
     ./internal/resilience/... ./internal/mom/... ./internal/core/... \
     ./internal/server/... ./internal/jobs/... ./internal/rescache/... \
-    ./internal/telemetry/... ./internal/sweepengine/...
+    ./internal/telemetry/... ./internal/sweepengine/... \
+    ./internal/trace/...
