@@ -8,6 +8,7 @@
 //	roughsim [-sigma 1.0] [-eta 1.0] [-cf gaussian|exp|measured]
 //	         [-eta2 0.53] [-fmin 1] [-fmax 9] [-steps 9] [-grid 16] [-dim 16]
 //	         [-timeout 0] [-json] [-trace]
+//	         [-surrogate-out model.json] [-surrogate-in model.json]
 //
 // Lengths are in micrometers, frequencies in GHz. The sweep honors
 // Ctrl-C and the -timeout budget: cancellation stops the run promptly
@@ -16,6 +17,13 @@
 // With -json the sweep is emitted as a machine-readable
 // roughsim.SweepResult — the exact record schema the roughsimd result
 // endpoint returns, so CLI and service outputs are directly diffable.
+//
+// -surrogate-out fits a broadband K(f) surrogate over [fmin, fmax]
+// through the exact solver, validates it at held-out frequencies and
+// writes the admitted model to the given file instead of sweeping.
+// -surrogate-in loads such a model and serves the sweep from it with
+// no solver in the loop — the CLI twin of roughsimd's GET /k fast
+// path.
 package main
 
 import (
@@ -47,6 +55,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "total sweep budget (e.g. 90s); 0 means no limit")
 		asJSON  = flag.Bool("json", false, "emit the sweep as JSON (the roughsimd record schema)")
 		showTr  = flag.Bool("trace", false, "print a per-stage timing breakdown to stderr after the sweep")
+		surOut  = flag.String("surrogate-out", "", "fit a K(f) surrogate over [fmin, fmax] and write the model to this file (no sweep)")
+		surIn   = flag.String("surrogate-in", "", "serve the sweep from a fitted surrogate model file (no solver)")
 	)
 	flag.Parse()
 
@@ -84,6 +94,61 @@ func main() {
 		defer cancel()
 	}
 
+	surCfg := roughsim.SurrogateConfig{Spec: spec, Acc: roughsim.Accuracy{GridPerSide: *grid, StochasticDim: *dim},
+		FMinHz: *fmin * 1e9, FMaxHz: *fmax * 1e9}
+
+	if *surOut != "" {
+		sur, err := roughsim.FitSurrogate(ctx, surCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roughsim: surrogate fit:", err)
+			os.Exit(1)
+		}
+		b, err := sur.Encode()
+		if err == nil {
+			err = os.WriteFile(*surOut, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roughsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "roughsim: surrogate admitted (max rel err %.3g, %d exact solves) → %s\n",
+			sur.MaxRelErr(), sur.SolvePoints(), *surOut)
+		return
+	}
+
+	if *surIn != "" {
+		b, err := os.ReadFile(*surIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roughsim:", err)
+			os.Exit(1)
+		}
+		sur, err := roughsim.DecodeSurrogate(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roughsim:", err)
+			os.Exit(1)
+		}
+		if sur.Key() != surCfg.Key().String() {
+			fmt.Fprintf(os.Stderr, "roughsim: warning: %s was fitted for a different configuration than these flags\n", *surIn)
+		}
+		res := &roughsim.SweepResult{Config: roughsim.SweepConfig{Stack: roughsim.CopperSiO2(), Spec: spec, Acc: surCfg.Acc, Freqs: freqs}}
+		for _, f := range freqs {
+			k, err := sur.MeanAt(f)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "roughsim:", err)
+				os.Exit(1)
+			}
+			res.Points = append(res.Points, roughsim.SweepPoint{
+				FreqHz:     f,
+				SkinDepthM: roughsim.CopperSiO2().SkinDepth(f),
+				KSWM:       k,
+				KSPM2:      sim.SPM2LossFactor(f),
+				KEmpirical: sim.EmpiricalLossFactor(f),
+			})
+		}
+		emit(res, *asJSON, *sigma, *eta, kind, *grid, *dim)
+		return
+	}
+
 	var tr *trace.Trace
 	if *showTr {
 		tr = trace.New("cli")
@@ -111,7 +176,16 @@ func main() {
 		}
 	}
 
-	if *asJSON {
+	emit(res, *asJSON, *sigma, *eta, kind, *grid, *dim)
+	if st := sim.SolveStats(); st.Fallbacks > 0 {
+		fmt.Fprintf(os.Stderr, "roughsim: %d of %d solves needed the fallback chain (wins: %v)\n",
+			st.Fallbacks, st.Solves, st.StageWins)
+	}
+}
+
+// emit prints the sweep as JSON or as the human-readable table.
+func emit(res *roughsim.SweepResult, asJSON bool, sigma, eta float64, kind roughsim.CFKind, grid, dim int) {
+	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
@@ -120,9 +194,8 @@ func main() {
 		}
 		return
 	}
-
 	fmt.Printf("SWM roughness loss sweep: σ=%g μm, η=%g μm, CF=%s, grid %d², d=%d\n",
-		*sigma, *eta, kind, *grid, *dim)
+		sigma, eta, kind, grid, dim)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "f (GHz)\tδ (μm)\tSWM K\tSPM2 K\tempirical K")
 	for _, p := range res.Points {
@@ -132,9 +205,5 @@ func main() {
 	if err := tw.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "roughsim:", err)
 		os.Exit(1)
-	}
-	if st := sim.SolveStats(); st.Fallbacks > 0 {
-		fmt.Fprintf(os.Stderr, "roughsim: %d of %d solves needed the fallback chain (wins: %v)\n",
-			st.Fallbacks, st.Solves, st.StageWins)
 	}
 }

@@ -10,7 +10,12 @@
 //
 //	roughsimd [-addr :8080] [-workers 2] [-queue 64] [-job-timeout 0]
 //	          [-cache-size 4096] [-cache-dir ""] [-drain-timeout 30s]
+//	          [-surrogate-cap 64] [-surrogate-dir ""]
 //	          [-trace-buffer 128] [-pprof] [-log-level info]
+//
+// Broadband K(f) surrogates (POST /v1/surrogates, GET /k) are held in
+// a registry bounded by -surrogate-cap; -surrogate-dir persists
+// admitted models across restarts.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: submissions are
 // rejected, running sweeps get -drain-timeout to finish, then are
@@ -42,6 +47,8 @@ func main() {
 		cacheSize    = flag.Int("cache-size", 4096, "result-cache entries (memory tier)")
 		cacheDir     = flag.String("cache-dir", "", "result-cache directory (disk tier); empty disables")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		surCap       = flag.Int("surrogate-cap", 0, "surrogate registry entries, memory tier (default 64)")
+		surDir       = flag.String("surrogate-dir", "", "surrogate registry directory (disk tier); empty disables")
 		traceBuffer  = flag.Int("trace-buffer", 0, "retained job traces (default 128)")
 		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -61,6 +68,8 @@ func main() {
 		JobTimeout:    *jobTimeout,
 		CacheSize:     *cacheSize,
 		CacheDir:      *cacheDir,
+		SurrogateCap:  *surCap,
+		SurrogateDir:  *surDir,
 		Metrics:       telemetry.NewRegistry(),
 		TraceCapacity: *traceBuffer,
 		EnablePprof:   *enablePprof,
@@ -82,6 +91,8 @@ func main() {
 		"queue", *queueDepth,
 		"cache", *cacheSize,
 		"cache_dir", *cacheDir,
+		"surrogate_cap", *surCap,
+		"surrogate_dir", *surDir,
 		"trace_buffer", *traceBuffer,
 		"pprof", *enablePprof,
 	)

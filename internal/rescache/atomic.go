@@ -1,0 +1,41 @@
+package rescache
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic persists b as dir/name (creating dir on first use)
+// through a temp file in the same directory that is fsynced before an
+// atomic os.Rename, so a crash mid-write can never leave a torn entry
+// under the final name: readers see either the old content or the new,
+// complete one. Shared by the result cache's disk tier and the
+// surrogate registry, which lay their entries out the same way (one
+// content-addressed file per key).
+func WriteFileAtomic(dir, name string, b []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Without the fsync the rename can land before the data blocks,
+	// and a crash between the two leaves a complete-looking name over
+	// garbage — exactly the torn entry the temp file exists to prevent.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, name))
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"math"
 )
 
@@ -14,6 +15,18 @@ type Key [sha256.Size]byte
 // String returns the lowercase hex form of the key (the on-disk file
 // stem of the disk tier).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by String — the wire shape of
+// content addresses in API paths.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return Key{}, fmt.Errorf("rescache: invalid key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
 
 // Enc builds the canonical binary encoding that keys the cache. The
 // encoding is platform-stable by construction:

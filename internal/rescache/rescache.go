@@ -238,28 +238,13 @@ func (c *Cache) path(key Key) string {
 	return filepath.Join(c.opt.Dir, key.String()+".json")
 }
 
-// writeDisk persists one value atomically (temp file + rename), so a
-// crash mid-write never leaves a truncated entry for load to trust.
+// writeDisk persists one value atomically (temp file + fsync + rename,
+// see WriteFileAtomic), so a crash mid-write never leaves a truncated
+// entry for load to trust.
 func (c *Cache) writeDisk(key Key, v any) error {
 	b, err := c.opt.Codec.Encode(v)
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(c.opt.Dir, 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(c.opt.Dir, "tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), c.path(key))
+	return WriteFileAtomic(c.opt.Dir, key.String()+".json", b)
 }

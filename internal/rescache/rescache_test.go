@@ -208,6 +208,68 @@ func TestDiskTierRoundTripAndCorruption(t *testing.T) {
 	}
 }
 
+// TestTruncatedDiskEntryIsMissNotError simulates the torn write the
+// fsync+rename discipline exists to prevent: a truncated entry under a
+// valid name must deserialize to a miss (recomputable), never an error
+// or garbage value.
+func TestTruncatedDiskEntryIsMissNotError(t *testing.T) {
+	dir := t.TempDir()
+	m := telemetry.NewRegistry()
+	mk := func() *Cache {
+		c, err := New(4, Options{Dir: dir, Codec: jsonCodec(), Metrics: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	key := keyOf(2.5, 5e9)
+	mk().Put(key, 3.5)
+	path := filepath.Join(dir, key.String()+".json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("Put must persist the disk entry: %v", err)
+	}
+	// Truncate mid-entry (as a crash between write and fsync could have,
+	// absent the atomic discipline): "3.5" becomes the unparseable "3.".
+	if err := os.Truncate(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := mk().Get(key); ok {
+		t.Fatalf("truncated entry must be a miss, got %v", v)
+	}
+	if m.Counter("cache.disk_errors").Value() == 0 {
+		t.Fatal("truncated entry must be counted as a disk error")
+	}
+	// A zero-byte file (rename landed, data blocks did not) is also a miss.
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mk().Get(key); ok {
+		t.Fatal("empty entry must be a miss")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sub") // exercises MkdirAll
+	if err := WriteFileAtomic(dir, "k.json", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(dir, "k.json", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "k.json"))
+	if err != nil || string(b) != "v2" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	// No temp droppings survive a successful write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries, want only the final file", len(ents))
+	}
+}
+
 func TestWaiterContextCancellation(t *testing.T) {
 	c, err := New(4, Options{})
 	if err != nil {

@@ -12,6 +12,12 @@
 //	GET  /v1/sweeps/{id}/result  the roughsim.SweepResult (when succeeded)
 //	GET  /v1/sweeps/{id}/stream  SSE progress events until terminal
 //	DELETE /v1/sweeps/{id}     cancel a queued or running job
+//	POST /v1/surrogates        fit + validate + admit a broadband K(f) model
+//	GET  /v1/surrogates        list surrogate admission records
+//	GET  /v1/surrogates/{key}  one admission record
+//	DELETE /v1/surrogates/{key}  evict a surrogate (memory + disk)
+//	GET  /k?key=…&f=…          closed-form K query (sub-ms on admitted models;
+//	                           falls back to the exact sweep tier otherwise)
 //	GET  /metrics              telemetry snapshot (JSON; Prometheus text
 //	                           on ?format=prometheus or a scraper Accept)
 //	GET  /healthz              liveness
@@ -43,6 +49,7 @@ import (
 	"roughsim/internal/jobs"
 	"roughsim/internal/rescache"
 	"roughsim/internal/resilience"
+	"roughsim/internal/surrogate"
 	"roughsim/internal/telemetry"
 	"roughsim/internal/trace"
 )
@@ -59,6 +66,12 @@ type Config struct {
 	// (table sets across all jobs and configs; default a service-sized
 	// cap — see roughsim.NewTableCache).
 	TableCacheSize int
+	// SurrogateCap bounds the memory tier of the surrogate registry
+	// (admission records; default 64).
+	SurrogateCap int
+	// SurrogateDir enables the surrogate registry's persistent tier
+	// ("" disables): admitted models survive restarts.
+	SurrogateDir string
 	// Limits guard the service against pathological requests.
 	MaxGrid  int // largest accepted GridPerSide (default 64)
 	MaxDim   int // largest accepted StochasticDim (default 32)
@@ -115,6 +128,10 @@ type Server struct {
 	reqID   atomic.Int64
 	mux     *http.ServeMux
 	http    *http.Server
+
+	// surrogates is the content-addressed registry of broadband K(f)
+	// models behind POST /v1/surrogates and the GET /k fast path.
+	surrogates *surrogate.Registry
 
 	// tables is the shared Green's-function table cache: every
 	// simulation the server builds attaches to it, so concurrent sweeps
@@ -176,16 +193,17 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		queue:   queue,
-		cache:   cache,
-		metrics: cfg.Metrics,
-		tracer:  trace.NewRecorder(cfg.TraceCapacity),
-		log:     cfg.Log,
-		mux:     http.NewServeMux(),
-		tables:  roughsim.NewTableCache(cfg.TableCacheSize, cfg.Metrics),
-		sims:    map[rescache.Key]*roughsim.Simulation{},
-		flights: map[rescache.Key]*sweepFlight{},
+		cfg:        cfg,
+		queue:      queue,
+		cache:      cache,
+		metrics:    cfg.Metrics,
+		tracer:     trace.NewRecorder(cfg.TraceCapacity),
+		log:        cfg.Log,
+		mux:        http.NewServeMux(),
+		tables:     roughsim.NewTableCache(cfg.TableCacheSize, cfg.Metrics),
+		surrogates: surrogate.NewRegistry(cfg.SurrogateCap, cfg.SurrogateDir, cfg.Metrics),
+		sims:       map[rescache.Key]*roughsim.Simulation{},
+		flights:    map[rescache.Key]*sweepFlight{},
 	}
 	queue.SetTracer(s.tracer)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
@@ -193,6 +211,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/surrogates", s.handleSurrogateSubmit)
+	s.mux.HandleFunc("GET /v1/surrogates", s.handleSurrogateList)
+	s.mux.HandleFunc("GET /v1/surrogates/{key}", s.handleSurrogateGet)
+	s.mux.HandleFunc("DELETE /v1/surrogates/{key}", s.handleSurrogateEvict)
+	s.mux.HandleFunc("GET /k", s.handleK)
 	s.mux.Handle("GET /metrics", cfg.Metrics.Handler())
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

@@ -133,6 +133,27 @@ type Result struct {
 	// Points is the number of collocation (solver) evaluations — the
 	// quantity Table I reports.
 	Points int
+	// Coeffs is the fitted PC coefficient vector c_α, aligned with
+	// PCE.Indices (it aliases PCE.Coeffs). Exported so callers can
+	// persist the surrogate or re-interpolate the coefficients across
+	// frequency (the broadband surrogate registry does both) without
+	// reaching into the PCE.
+	Coeffs []float64
+	// Mean is E[K] = c₀ and Variance is Var[K] = Σ_{α≠0} c_α²·α!, both
+	// computed from the coefficients at fit time.
+	Mean     float64
+	Variance float64
+}
+
+// newResult wraps a fitted PCE with its coefficient-derived statistics.
+func newResult(pce *PCE, points int) *Result {
+	return &Result{
+		PCE:      pce,
+		Points:   points,
+		Coeffs:   pce.Coeffs,
+		Mean:     pce.Mean(),
+		Variance: pce.Variance(),
+	}
 }
 
 // Options tunes the collocation driver.
@@ -213,7 +234,7 @@ feed:
 		}
 	}
 
-	return &Result{PCE: project(grid, d, order, vals), Points: grid.Len()}, nil
+	return newResult(project(grid, d, order, vals), grid.Len()), nil
 }
 
 // project computes the PCE coefficients c_α = E[K·He_α]/α! from the
@@ -275,7 +296,7 @@ func FromValues(d, order int, vals []float64) (*Result, error) {
 		return nil, resilience.Errorf(resilience.KindInvalidInput, "sscm.FromValues",
 			"got %d values for a %d-node grid", len(vals), grid.Len())
 	}
-	return &Result{PCE: project(grid, d, order, vals), Points: grid.Len()}, nil
+	return newResult(project(grid, d, order, vals), grid.Len()), nil
 }
 
 // evalNode runs one collocation node with panic recovery.

@@ -204,6 +204,69 @@ func TestNodeErrorClassified(t *testing.T) {
 	}
 }
 
+// TestResultExportsCoefficientStatistics pins the exported surrogate
+// fields: Result.Coeffs is the fitted coefficient vector, and the
+// mean/variance recomputed from it (E = c₀, Var = Σ_{α≠0} c_α²·α!)
+// match both the exported Result.Mean/Variance and the PCE's own
+// statistics to 1e-12 — so a caller persisting only the coefficients
+// (the broadband surrogate registry) loses nothing.
+func TestResultExportsCoefficientStatistics(t *testing.T) {
+	// Linear K with d=2, order 1: level-1 Gauss–Hermite integrates the
+	// degree ≤ 2 projection integrands exactly, so the coefficients are
+	// analytic up to round-off: c = [2, −0.5, 3], E[K] = 2, Var = 9.25.
+	f := func(xi []float64) (float64, error) { return 2 + 3*xi[0] - 0.5*xi[1], nil }
+	res, err := Run(context.Background(), 2, 1, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Coeffs) != len(res.PCE.Indices) {
+		t.Fatalf("Coeffs has %d terms for %d indices", len(res.Coeffs), len(res.PCE.Indices))
+	}
+	mean := res.Coeffs[0]
+	var variance float64
+	for ti := 1; ti < len(res.Coeffs); ti++ {
+		fact := 1.0
+		for _, ai := range res.PCE.Indices[ti] {
+			for k := 2; k <= ai; k++ {
+				fact *= float64(k)
+			}
+		}
+		variance += res.Coeffs[ti] * res.Coeffs[ti] * fact
+	}
+	for _, chk := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"mean vs analytic", mean, 2},
+		{"variance vs analytic", variance, 9.25},
+		{"mean vs PCE.Mean", mean, res.PCE.Mean()},
+		{"variance vs PCE.Variance", variance, res.PCE.Variance()},
+		{"Result.Mean", res.Mean, mean},
+		{"Result.Variance", res.Variance, variance},
+	} {
+		if math.Abs(chk.got-chk.want) > 1e-12 {
+			t.Errorf("%s: %.17g, want %.17g", chk.name, chk.got, chk.want)
+		}
+	}
+	// FromValues exports the same fields.
+	xi, err := Nodes(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, len(xi))
+	for i, x := range xi {
+		vals[i], _ = f(x)
+	}
+	fv, err := FromValues(2, 1, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.Mean != res.Mean || fv.Variance != res.Variance || len(fv.Coeffs) != len(res.Coeffs) {
+		t.Fatalf("FromValues stats (%g, %g) differ from Run's (%g, %g)",
+			fv.Mean, fv.Variance, res.Mean, res.Variance)
+	}
+}
+
 func TestFromValuesMatchesRun(t *testing.T) {
 	// FromValues over the Nodes list must reproduce Run bitwise: the
 	// batched sweep engine relies on this equivalence to evaluate nodes

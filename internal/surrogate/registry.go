@@ -1,0 +1,359 @@
+package surrogate
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"roughsim/internal/rescache"
+	"roughsim/internal/telemetry"
+)
+
+// Status of a registry record.
+type Status string
+
+const (
+	// StatusBuilding: a fit/validate pass is in flight for the key.
+	StatusBuilding Status = "building"
+	// StatusAdmitted: the model beat its tolerance and is servable.
+	StatusAdmitted Status = "admitted"
+	// StatusRejected: validation failed the tolerance; Reason says why.
+	// Rejected keys stay rejected (deterministic inputs rebuild the
+	// same model) until evicted.
+	StatusRejected Status = "rejected"
+)
+
+// Record is one registry entry: the admission outcome for a key, plus
+// the model when admitted.
+type Record struct {
+	Key       string  `json:"key"`
+	Status    Status  `json:"status"`
+	Model     *Model  `json:"-"` // servable model (admitted only)
+	Reason    string  `json:"reason,omitempty"`
+	MaxRelErr float64 `json:"max_rel_err"`
+	Tol       float64 `json:"tol"`
+	// Spec echoes the build parameters (Meta carries the originating
+	// config), so the serve tier can reconstruct the exact path for
+	// fallback on non-admitted keys.
+	Spec FitSpec `json:"spec"`
+}
+
+// Registry is the content-addressed surrogate store: a bounded memory
+// LRU of admission records over an optional persistent disk tier of
+// admitted models, with single-flight builds. Safe for concurrent use.
+type Registry struct {
+	capacity int
+	dir      string
+	metrics  *telemetry.Registry
+
+	hits, misses, shared     *telemetry.Counter
+	admitted, rejected       *telemetry.Counter
+	evictions, diskErrors    *telemetry.Counter
+	entries                  *telemetry.Gauge
+	buildSeconds, evalObserv *telemetry.Histogram
+
+	mu     sync.Mutex
+	ll     *list.List // front = most recently used
+	items  map[rescache.Key]*list.Element
+	builds map[rescache.Key]*buildFlight
+}
+
+type regEntry struct {
+	key rescache.Key
+	rec *Record
+}
+
+// buildFlight is one in-flight admission pipeline run.
+type buildFlight struct {
+	done chan struct{}
+	rec  *Record
+	err  error
+	spec FitSpec
+}
+
+const defaultCapacity = 64
+
+// NewRegistry builds a registry holding up to capacity records in
+// memory (default 64 when capacity ≤ 0); dir, when non-empty, enables
+// the persistent tier for admitted models.
+func NewRegistry(capacity int, dir string, m *telemetry.Registry) *Registry {
+	if capacity <= 0 {
+		capacity = defaultCapacity
+	}
+	return &Registry{
+		capacity:     capacity,
+		dir:          dir,
+		metrics:      m,
+		hits:         m.CounterL("surrogate.requests", telemetry.L("outcome", "hit")),
+		misses:       m.CounterL("surrogate.requests", telemetry.L("outcome", "miss")),
+		shared:       m.Counter("surrogate.builds_shared"),
+		admitted:     m.CounterL("surrogate.admission", telemetry.L("outcome", "admitted")),
+		rejected:     m.CounterL("surrogate.admission", telemetry.L("outcome", "rejected")),
+		evictions:    m.Counter("surrogate.evictions"),
+		diskErrors:   m.Counter("surrogate.disk_errors"),
+		entries:      m.Gauge("surrogate.entries"),
+		buildSeconds: m.Histogram("surrogate.build_seconds"),
+		evalObserv:   m.Histogram("surrogate.eval_seconds"),
+	}
+}
+
+// ObserveEval feeds the serve-path latency histogram (the sub-ms p99
+// the fast path is sized for).
+func (r *Registry) ObserveEval(seconds float64) { r.evalObserv.Observe(seconds) }
+
+// Len returns the number of memory-resident records.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ll == nil {
+		return 0
+	}
+	return r.ll.Len()
+}
+
+// Get resolves key for the serve path, counting a hit only when an
+// admitted model is present (memory first, then the persistent tier);
+// anything else — absent, building, rejected, torn disk entry — counts
+// as a miss the caller must fall back from.
+func (r *Registry) Get(key rescache.Key) (*Record, bool) {
+	rec, ok := r.lookup(key, true)
+	return rec, ok
+}
+
+// Peek is Get without touching the hit/miss accounting — the status
+// and listing endpoints use it so polling does not skew serve metrics.
+func (r *Registry) Peek(key rescache.Key) (*Record, bool) {
+	return r.lookup(key, false)
+}
+
+func (r *Registry) lookup(key rescache.Key, count bool) (*Record, bool) {
+	r.mu.Lock()
+	if el, ok := r.items[key]; ok {
+		r.ll.MoveToFront(el)
+		rec := el.Value.(*regEntry).rec
+		r.mu.Unlock()
+		if count {
+			if rec.Status == StatusAdmitted {
+				r.hits.Inc()
+			} else {
+				r.misses.Inc()
+			}
+		}
+		return rec, true
+	}
+	if fl, ok := r.builds[key]; ok {
+		r.mu.Unlock()
+		if count {
+			r.misses.Inc()
+		}
+		return &Record{Key: key.String(), Status: StatusBuilding, Tol: fl.spec.Tol, Spec: fl.spec}, true
+	}
+	r.mu.Unlock()
+	if rec := r.loadDisk(key); rec != nil {
+		r.mu.Lock()
+		r.insertLocked(key, rec)
+		r.mu.Unlock()
+		if count {
+			r.hits.Inc()
+		}
+		return rec, true
+	}
+	if count {
+		r.misses.Inc()
+	}
+	return nil, false
+}
+
+// GetOrBuild returns the admission record for spec.Key, running the
+// fit → validate → admit pipeline at most once across concurrent
+// callers. An existing record (admitted or rejected) is returned as
+// is: builds are deterministic, so a rejected key is not retried until
+// evicted. The build runs under the first caller's ctx.
+func (r *Registry) GetOrBuild(ctx context.Context, src Source, spec FitSpec) (*Record, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	key := spec.Key
+	r.mu.Lock()
+	if el, ok := r.items[key]; ok {
+		r.ll.MoveToFront(el)
+		rec := el.Value.(*regEntry).rec
+		r.mu.Unlock()
+		return rec, nil
+	}
+	if fl, ok := r.builds[key]; ok {
+		r.mu.Unlock()
+		r.shared.Inc()
+		select {
+		case <-fl.done:
+			return fl.rec, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	fl := &buildFlight{done: make(chan struct{}), spec: spec}
+	if r.builds == nil {
+		r.builds = map[rescache.Key]*buildFlight{}
+	}
+	r.builds[key] = fl
+	r.mu.Unlock()
+
+	rec, err := r.build(ctx, src, spec)
+	fl.rec, fl.err = rec, err
+	r.mu.Lock()
+	delete(r.builds, key)
+	if err == nil {
+		r.insertLocked(key, rec)
+	}
+	r.mu.Unlock()
+	close(fl.done)
+	return rec, err
+}
+
+// build runs the admission pipeline once: a disk probe (an admitted
+// model may predate this process), then fit, validate, and the
+// tolerance verdict.
+func (r *Registry) build(ctx context.Context, src Source, spec FitSpec) (*Record, error) {
+	if rec := r.loadDisk(spec.Key); rec != nil {
+		return rec, nil
+	}
+	start := time.Now()
+	model, err := Fit(ctx, src, spec, r.metrics)
+	if err != nil {
+		return nil, err
+	}
+	maxErr, err := Validate(ctx, src, model, spec, r.metrics)
+	if err != nil {
+		return nil, err
+	}
+	r.buildSeconds.Observe(time.Since(start).Seconds())
+	model.MaxRelErr = maxErr
+	rec := &Record{Key: spec.Key.String(), MaxRelErr: maxErr, Tol: spec.Tol, Spec: spec}
+	if maxErr > spec.Tol {
+		rec.Status = StatusRejected
+		rec.Reason = fmt.Sprintf("validation max relative error %.3g exceeds tolerance %.3g", maxErr, spec.Tol)
+		r.rejected.Inc()
+		return rec, nil
+	}
+	rec.Status = StatusAdmitted
+	rec.Model = model
+	r.admitted.Inc()
+	if r.dir != "" {
+		b, err := Encode(model)
+		if err == nil {
+			err = rescache.WriteFileAtomic(r.dir, r.filename(spec.Key), b)
+		}
+		if err != nil {
+			r.diskErrors.Inc()
+		}
+	}
+	return rec, nil
+}
+
+// List snapshots every memory-resident record plus in-flight builds,
+// most recently used first.
+func (r *Registry) List() []*Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Record, 0, 8)
+	if r.ll != nil {
+		for el := r.ll.Front(); el != nil; el = el.Next() {
+			out = append(out, el.Value.(*regEntry).rec)
+		}
+	}
+	for _, fl := range r.builds {
+		out = append(out, &Record{Key: fl.spec.Key.String(), Status: StatusBuilding, Tol: fl.spec.Tol, Spec: fl.spec})
+	}
+	return out
+}
+
+// Evict removes the record from the memory tier and deletes the
+// persisted model, reporting whether anything was removed. An
+// in-flight build is not interrupted (its record lands afterwards and
+// can be evicted again).
+func (r *Registry) Evict(key rescache.Key) bool {
+	r.mu.Lock()
+	removed := false
+	if el, ok := r.items[key]; ok {
+		r.ll.Remove(el)
+		delete(r.items, key)
+		r.entries.Set(float64(r.ll.Len()))
+		removed = true
+	}
+	r.mu.Unlock()
+	if r.dir != "" {
+		if err := os.Remove(filepath.Join(r.dir, r.filename(key))); err == nil {
+			removed = true
+		}
+	}
+	if removed {
+		r.evictions.Inc()
+	}
+	return removed
+}
+
+// insertLocked adds rec under key, evicting LRU records past capacity.
+// Caller holds r.mu.
+func (r *Registry) insertLocked(key rescache.Key, rec *Record) {
+	if r.ll == nil {
+		r.ll = list.New()
+		r.items = map[rescache.Key]*list.Element{}
+	}
+	if el, ok := r.items[key]; ok {
+		el.Value.(*regEntry).rec = rec
+		r.ll.MoveToFront(el)
+		return
+	}
+	r.items[key] = r.ll.PushFront(&regEntry{key: key, rec: rec})
+	for r.ll.Len() > r.capacity {
+		back := r.ll.Back()
+		r.ll.Remove(back)
+		delete(r.items, back.Value.(*regEntry).key)
+		r.evictions.Inc()
+	}
+	r.entries.Set(float64(r.ll.Len()))
+}
+
+func (r *Registry) filename(key rescache.Key) string {
+	// A distinct suffix keeps surrogate models recognizable next to
+	// rescache point entries if an operator points both at one
+	// directory.
+	return key.String() + ".surrogate.json"
+}
+
+// loadDisk resolves an admitted model from the persistent tier. Any
+// decode or shape failure (torn write predating the fsync discipline,
+// schema bump, key mismatch) is a miss, never an error.
+func (r *Registry) loadDisk(key rescache.Key) *Record {
+	if r.dir == "" {
+		return nil
+	}
+	b, err := os.ReadFile(filepath.Join(r.dir, r.filename(key)))
+	if err != nil {
+		return nil
+	}
+	model, err := Decode(b)
+	if err != nil || model.Key != key.String() {
+		r.diskErrors.Inc()
+		return nil
+	}
+	return &Record{
+		Key:       model.Key,
+		Status:    StatusAdmitted,
+		Model:     model,
+		MaxRelErr: model.MaxRelErr,
+		Spec: FitSpec{
+			Key:     key,
+			FMinHz:  model.FMinHz,
+			FMaxHz:  model.FMaxHz,
+			Order:   model.Order,
+			Anchors: len(model.XNodes),
+			Meta:    model.Meta,
+		},
+	}
+}

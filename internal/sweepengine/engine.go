@@ -93,6 +93,10 @@ type Engine struct {
 type Result struct {
 	// Mean is E[K] per frequency, aligned with the freqs argument.
 	Mean []float64
+	// Values holds the raw collocation node values K(f_i, ξ_j) as
+	// Values[freq][node], node-aligned with sscm.Nodes(Dim, Order) —
+	// the projection inputs the broadband surrogate fitter consumes.
+	Values [][]float64
 	// AnchorsUsed is the anchor count of the interpolated path, or 0
 	// when the sweep ran through the exact per-frequency path.
 	AnchorsUsed int
@@ -184,7 +188,7 @@ func (e *Engine) Run(ctx context.Context, freqs []float64) (*Result, error) {
 	// Fit the PC surrogate per frequency from the collocation values.
 	_, fitSpan := trace.StartSpan(ctx, "surrogate.fit")
 	fitStart := time.Now()
-	res := &Result{Mean: make([]float64, len(freqs)), AnchorsUsed: anchors}
+	res := &Result{Mean: make([]float64, len(freqs)), Values: vals, AnchorsUsed: anchors}
 	for fi := range freqs {
 		r, err := sscm.FromValues(e.Dim, order, vals[fi])
 		if err != nil {
@@ -277,7 +281,7 @@ func (e *Engine) exactSweep(ctx context.Context, freqs []float64, surfs []*surfa
 // flat reference runs through the same interpolation so the leading
 // kernel interpolation error cancels in the ratio.
 func (e *Engine) interpSweep(ctx context.Context, freqs []float64, fmin, fmax float64, anchors int, surfs []*surface.Surface, flat []bool) ([][]float64, error) {
-	xs := chebAnchors(anchors, math.Sqrt(fmin), math.Sqrt(fmax))
+	xs := ChebAnchors(anchors, math.Sqrt(fmin), math.Sqrt(fmax))
 	e.Metrics.Counter("sweep.anchor_builds").Add(int64(anchors))
 
 	ps, err := e.sweepPabs(ctx, surface.NewFlat(e.Solver.L, e.Solver.M), xs, freqs)
@@ -356,7 +360,7 @@ func (e *Engine) sweepPabs(ctx context.Context, surf *surface.Surface, xs []floa
 // static self-singularity — are reproduced exactly up to round-off) and
 // an exactly recomputed right-hand side.
 func interpSystem(anch []*mom.System, xs []float64, x float64, surf *surface.Surface, p mom.Params) *mom.System {
-	w := baryWeights(xs, x)
+	w := BaryWeights(xs, x)
 	n := anch[0].N
 	m := cmplxmat.New(2*n, 2*n)
 	for a, wa := range w {
@@ -373,8 +377,11 @@ func interpSystem(anch []*mom.System, xs []float64, x float64, surf *surface.Sur
 	return &mom.System{N: n, Matrix: m, RHS: mom.RHSVector(surf, p), Step: anch[0].Step}
 }
 
-// chebAnchors places n Chebyshev–Gauss abscissae on [lo, hi].
-func chebAnchors(n int, lo, hi float64) []float64 {
+// ChebAnchors places n Chebyshev–Gauss abscissae on [lo, hi]. Exported
+// because the surrogate fitter anchors its broadband coefficient model
+// on the same abscissae family (in x = √f) the engine interpolates
+// matrices on.
+func ChebAnchors(n int, lo, hi float64) []float64 {
 	mid, half := (lo+hi)/2, (hi-lo)/2
 	xs := make([]float64, n)
 	for a := 0; a < n; a++ {
@@ -383,9 +390,10 @@ func chebAnchors(n int, lo, hi float64) []float64 {
 	return xs
 }
 
-// baryWeights returns the Lagrange basis ℓ_a(x) for the Chebyshev–Gauss
+// BaryWeights returns the Lagrange basis ℓ_a(x) for the Chebyshev–Gauss
 // abscissae xs in barycentric form; a coincident x yields a delta.
-func baryWeights(xs []float64, x float64) []float64 {
+// Exported for the surrogate model's coefficient interpolation.
+func BaryWeights(xs []float64, x float64) []float64 {
 	w := make([]float64, len(xs))
 	for a, xa := range xs {
 		if x == xa {

@@ -138,9 +138,9 @@ func TestRunValidation(t *testing.T) {
 // collapse to a delta at a node, and reproduce polynomials of degree
 // n−1 exactly (to round-off).
 func TestBaryWeights(t *testing.T) {
-	xs := chebAnchors(6, 2, 3)
+	xs := ChebAnchors(6, 2, 3)
 	for _, x := range []float64{2.0, 2.31, 2.5, 2.97, 3.0} {
-		w := baryWeights(xs, x)
+		w := BaryWeights(xs, x)
 		var sum float64
 		for _, v := range w {
 			sum += v
@@ -158,7 +158,7 @@ func TestBaryWeights(t *testing.T) {
 			t.Fatalf("x=%g: interp %g vs exact %g", x, got, p(x))
 		}
 	}
-	w := baryWeights(xs, xs[2])
+	w := BaryWeights(xs, xs[2])
 	for a, v := range w {
 		want := 0.0
 		if a == 2 {

@@ -6,9 +6,14 @@ set -eux
 
 go build ./...
 go vet ./...
+# staticcheck when available (CI pin-installs it; local runs without
+# network skip it rather than fail).
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+fi
 go test ./...
 go test -race -short ./internal/montecarlo/... ./internal/sscm/... \
     ./internal/resilience/... ./internal/mom/... ./internal/core/... \
     ./internal/server/... ./internal/jobs/... ./internal/rescache/... \
     ./internal/telemetry/... ./internal/sweepengine/... \
-    ./internal/trace/...
+    ./internal/surrogate/... ./internal/trace/...

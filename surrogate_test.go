@@ -1,0 +1,79 @@
+package roughsim
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// tinySurrogateConfig is the benchmark sweep configuration plus a
+// band: small enough for CI, rough enough that K is visibly > 1.
+func tinySurrogateConfig() SurrogateConfig {
+	return SurrogateConfig{
+		Spec:    SurfaceSpec{Corr: GaussianCF, Sigma: 0.4e-6, Eta: 1e-6},
+		Acc:     Accuracy{GridPerSide: 8, StochasticDim: 2},
+		FMinHz:  4e9,
+		FMaxHz:  6e9,
+		Anchors: 6,
+	}
+}
+
+func TestFitSurrogateMatchesExactSolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits through the exact solver")
+	}
+	cfg := tinySurrogateConfig()
+	sur, err := FitSurrogate(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sur.MaxRelErr() > 1e-3 {
+		t.Fatalf("admitted with max rel err %g", sur.MaxRelErr())
+	}
+	if sur.Key() != cfg.Key().String() {
+		t.Fatalf("key mismatch: %s vs %s", sur.Key(), cfg.Key())
+	}
+
+	// The surrogate mean must match the exact per-frequency pipeline at
+	// an off-anchor frequency to the admission tolerance.
+	sim, err := NewSimulation(CopperSiO2(), cfg.Spec, cfg.Acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := 5.13e9
+	exact, err := sim.MeanLossFactorCtx(context.Background(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sur.MeanAt(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-exact) / exact; rel > 1e-3 {
+		t.Fatalf("MeanAt(%g) = %.8g, exact %.8g (rel %g)", f, got, exact, rel)
+	}
+	if exact <= 1 {
+		t.Fatalf("exact K = %g not > 1 for a rough surface", exact)
+	}
+	v, err := sur.VarianceAt(f)
+	if err != nil || v < 0 {
+		t.Fatalf("VarianceAt: %g, %v", v, err)
+	}
+
+	// Encode → Decode round-trips the servable model bit-exactly.
+	b, err := sur.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSurrogate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := back.MeanAt(f)
+	if err != nil || got2 != got {
+		t.Fatalf("decoded model MeanAt = %v, %v (want %v)", got2, err, got)
+	}
+	if _, err := DecodeSurrogate(b[:len(b)/2]); err == nil {
+		t.Fatal("truncated surrogate decoded")
+	}
+}

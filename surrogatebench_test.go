@@ -1,0 +1,151 @@
+// Benchmarks for the surrogate fast path against the exact per-point
+// pipeline, plus an env-gated recorder that writes BENCH_surrogate.json
+// (set ROUGHSIM_SURROGATE_BENCH_OUT to the output path; CI runs it as a
+// smoke check). The point being measured: the fit spends its exact
+// solves once, after which every in-band query is a closed-form
+// evaluation — the recorder asserts the per-query speedup is ≥ 100×
+// and that the surrogate stays within the admission tolerance of the
+// exact answer at off-anchor probe frequencies.
+package roughsim
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// benchProbeFreqs are off-anchor in-band frequencies (no Chebyshev
+// abscissa of the 6-anchor fit grid lands on them).
+var benchProbeFreqs = []float64{4.37e9, 5.13e9, 5.81e9}
+
+// BenchmarkSurrogateEval measures the hot path alone: one closed-form
+// E[K](f) query against an already-admitted model.
+func BenchmarkSurrogateEval(b *testing.B) {
+	sur, err := FitSurrogate(context.Background(), tinySurrogateConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sur.MeanAt(benchProbeFreqs[i%len(benchProbeFreqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactPoint is the tier the surrogate replaces: one full
+// SSCM solve per query.
+func BenchmarkExactPoint(b *testing.B) {
+	cfg := tinySurrogateConfig().WithDefaults()
+	sim, err := NewSimulation(cfg.Stack, cfg.Spec, cfg.Acc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.MeanLossFactorCtx(context.Background(), benchProbeFreqs[i%len(benchProbeFreqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRecordSurrogateBench fits once, then compares per-query cost and
+// accuracy of the surrogate against exact solves at the off-anchor
+// probes, writing the record to $ROUGHSIM_SURROGATE_BENCH_OUT (skipped
+// when unset). The ≥ 100× floor is the acceptance criterion of the
+// fast path; the measured ratio is orders of magnitude beyond it.
+func TestRecordSurrogateBench(t *testing.T) {
+	out := os.Getenv("ROUGHSIM_SURROGATE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set ROUGHSIM_SURROGATE_BENCH_OUT to record the surrogate benchmark")
+	}
+	ctx := context.Background()
+	cfg := tinySurrogateConfig().WithDefaults()
+
+	t0 := time.Now()
+	sur, err := FitSurrogate(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitSec := time.Since(t0).Seconds()
+
+	sim, err := NewSimulation(cfg.Stack, cfg.Spec, cfg.Acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		exactSec float64
+		maxRel   float64
+		kExact   []float64
+		kSur     []float64
+	)
+	for _, f := range benchProbeFreqs {
+		t1 := time.Now()
+		exact, err := sim.MeanLossFactorCtx(ctx, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactSec += time.Since(t1).Seconds()
+		got, err := sur.MeanAt(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kExact = append(kExact, exact)
+		kSur = append(kSur, got)
+		if rel := math.Abs(got-exact) / exact; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	exactPerQuery := exactSec / float64(len(benchProbeFreqs))
+
+	// Time the closed-form path over enough queries to resolve it.
+	const evals = 200_000
+	t2 := time.Now()
+	for i := 0; i < evals; i++ {
+		if _, err := sur.MeanAt(benchProbeFreqs[i%len(benchProbeFreqs)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evalPerQuery := time.Since(t2).Seconds() / evals
+	speedup := exactPerQuery / evalPerQuery
+
+	rec := map[string]any{
+		"band_ghz":                []float64{cfg.FMinHz / 1e9, cfg.FMaxHz / 1e9},
+		"grid_per_side":           cfg.Acc.GridPerSide,
+		"stochastic_dim":          cfg.Acc.StochasticDim,
+		"anchors":                 cfg.Anchors,
+		"order":                   cfg.Order,
+		"cpus":                    runtime.NumCPU(),
+		"fit_seconds":             fitSec,
+		"solve_points":            sur.SolvePoints(),
+		"validation_max_rel_err":  sur.MaxRelErr(),
+		"probe_freqs_hz":          benchProbeFreqs,
+		"k_swm_exact":             kExact,
+		"k_swm_surrogate":         kSur,
+		"probe_max_rel_err":       maxRel,
+		"exact_seconds_per_query": exactPerQuery,
+		"eval_seconds_per_query":  evalPerQuery,
+		"speedup":                 speedup,
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fit %.2fs (%d solves), exact %.3gs/query, surrogate %.3gs/query (%.0fx), probe max rel err %.2g",
+		fitSec, sur.SolvePoints(), exactPerQuery, evalPerQuery, speedup, maxRel)
+	if maxRel > 1e-3 {
+		t.Fatalf("surrogate deviates from exact at probes: max rel err %g", maxRel)
+	}
+	if speedup < 100 {
+		t.Fatalf("surrogate not ≥100x faster per query: exact %.3gs vs eval %.3gs (%.1fx)",
+			exactPerQuery, evalPerQuery, speedup)
+	}
+}

@@ -52,6 +52,24 @@ func (s *Simulation) engine() *sweepengine.Engine {
 	}
 }
 
+// CollocationValues evaluates K at every SSCM collocation node for
+// every frequency through the exact per-frequency path (matrix
+// interpolation is disabled by pinning one anchor per frequency), so
+// vals[i][j] is the solver's K at freqs[i], node j of
+// sscm.Nodes(StochasticDim(), order). This is the surrogate.Source
+// contract: surrogate fitting and validation must consume exact
+// solves, never another interpolant.
+func (s *Simulation) CollocationValues(ctx context.Context, freqs []float64, order int) ([][]float64, error) {
+	eng := s.engine()
+	eng.Order = order
+	eng.Anchors = len(freqs) // anchors == freqs disables the interpolated path
+	res, err := eng.Run(ctx, freqs)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
 // SweepPoints computes the SweepPoint records for freqs through the
 // batched sweep engine: collocation surfaces are synthesized once per
 // sweep, Green's-function tables come from the (shareable) table cache,
