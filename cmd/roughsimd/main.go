@@ -10,12 +10,22 @@
 //
 //	roughsimd [-addr :8080] [-workers 2] [-queue 64] [-job-timeout 0]
 //	          [-cache-size 4096] [-cache-dir ""] [-drain-timeout 30s]
+//	          [-journal ""] [-max-attempts 3] [-chaos ""]
 //	          [-surrogate-cap 64] [-surrogate-dir ""]
 //	          [-trace-buffer 128] [-pprof] [-log-level info]
 //
 // Broadband K(f) surrogates (POST /v1/surrogates, GET /k) are held in
 // a registry bounded by -surrogate-cap; -surrogate-dir persists
 // admitted models across restarts.
+//
+// -journal enables crash-safe execution: every accepted sweep is
+// recorded in a write-ahead journal before its 202, per-node progress
+// is checkpointed through the disk cache, and a restart against the
+// same journal (and -cache-dir) re-enqueues unfinished jobs under
+// their original IDs, resuming from the last checkpoint instead of
+// re-solving. -chaos op:n (e.g. sweep.checkpoint:2) kills the process
+// at the n-th occurrence of the named operation — the test hook behind
+// scripts/smoke_chaos.sh; never set it in production.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: submissions are
 // rejected, running sweeps get -drain-timeout to finish, then are
@@ -34,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"roughsim/internal/resilience"
 	"roughsim/internal/server"
 	"roughsim/internal/telemetry"
 )
@@ -47,6 +58,9 @@ func main() {
 		cacheSize    = flag.Int("cache-size", 4096, "result-cache entries (memory tier)")
 		cacheDir     = flag.String("cache-dir", "", "result-cache directory (disk tier); empty disables")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		journalPath  = flag.String("journal", "", "write-ahead job journal path; empty disables crash recovery")
+		maxAttempts  = flag.Int("max-attempts", 0, "attempts per job before permanent failure (default 3; 1 disables retries)")
+		chaosSpec    = flag.String("chaos", "", "fault injection op:n — crash at the n-th occurrence (testing only)")
 		surCap       = flag.Int("surrogate-cap", 0, "surrogate registry entries, memory tier (default 64)")
 		surDir       = flag.String("surrogate-dir", "", "surrogate registry directory (disk tier); empty disables")
 		traceBuffer  = flag.Int("trace-buffer", 0, "retained job traces (default 128)")
@@ -62,12 +76,26 @@ func main() {
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	var chaos *resilience.Injector
+	if *chaosSpec != "" {
+		spec, err := resilience.ParseCrashSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roughsimd: -chaos:", err)
+			os.Exit(2)
+		}
+		chaos = resilience.NewInjector(spec)
+		log.Warn("chaos injection armed", "spec", *chaosSpec)
+	}
+
 	srv, err := server.New(server.Config{
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
 		JobTimeout:    *jobTimeout,
 		CacheSize:     *cacheSize,
 		CacheDir:      *cacheDir,
+		JournalPath:   *journalPath,
+		MaxAttempts:   *maxAttempts,
+		Chaos:         chaos,
 		SurrogateCap:  *surCap,
 		SurrogateDir:  *surDir,
 		Metrics:       telemetry.NewRegistry(),
@@ -91,6 +119,7 @@ func main() {
 		"queue", *queueDepth,
 		"cache", *cacheSize,
 		"cache_dir", *cacheDir,
+		"journal", *journalPath,
 		"surrogate_cap", *surCap,
 		"surrogate_dir", *surDir,
 		"trace_buffer", *traceBuffer,

@@ -54,25 +54,38 @@ type Runner func(ctx context.Context, progress func(done, total int)) (any, erro
 type Job struct {
 	ID string
 
-	run    Runner
-	ctx    context.Context // derived from the queue base at Submit
-	cancel context.CancelFunc
-	done   chan struct{}
+	run         Runner
+	ctx         context.Context // derived from the queue base at Submit
+	cancel      context.CancelFunc
+	done        chan struct{}
+	maxAttempts int
+	backoff     resilience.Backoff
+	idHash      uint64 // decorrelates backoff jitter across jobs
 
 	trace    *trace.Trace // per-job trace (nil when the queue has no tracer)
 	waitSpan *trace.Span  // queue.wait span, Submit → worker pickup
 
-	mu        sync.Mutex
-	status    Status
-	result    any
-	err       error
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	queueWait time.Duration
-	changed   chan struct{} // closed and replaced on every observable change
+	mu           sync.Mutex
+	status       Status
+	result       any
+	err          error
+	submitted    time.Time
+	started      time.Time
+	finished     time.Time
+	queueWait    time.Duration
+	attempt      int           // attempts started so far (lease accounting)
+	waitingRetry bool          // parked on a backoff timer, not in the channel
+	retryTimer   *time.Timer   // the parked timer (drain stops it)
+	changed      chan struct{} // closed and replaced on every observable change
 
 	progDone, progTotal atomic.Int64
+}
+
+// Attempt returns how many times a worker has started this job.
+func (j *Job) Attempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
 }
 
 // Info is a point-in-time snapshot of a job, shaped for JSON.
@@ -85,6 +98,10 @@ type Info struct {
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitempty"`
 	Finished  time.Time `json:"finished,omitempty"`
+	// Attempt counts worker pickups; > 1 means the job was retried
+	// after a transient failure (or resumed from a journal replay).
+	Attempt     int `json:"attempt,omitempty"`
+	MaxAttempts int `json:"max_attempts,omitempty"`
 	// QueueWaitSeconds is Submit → worker-pickup latency, 0 until the
 	// job leaves the queue.
 	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
@@ -102,6 +119,8 @@ func (j *Job) Snapshot() Info {
 		Submitted:        j.submitted,
 		Started:          j.started,
 		Finished:         j.finished,
+		Attempt:          j.attempt,
+		MaxAttempts:      j.maxAttempts,
 		QueueWaitSeconds: j.queueWait.Seconds(),
 	}
 	if j.err != nil {
@@ -157,14 +176,15 @@ type Queue struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	closed   bool
+	observer func(*Job)
 
 	depth                                  *telemetry.Gauge
 	running                                *telemetry.Gauge
 	submitted, completed, failed, rejected *telemetry.Counter
-	canceled                               *telemetry.Counter
+	canceled, retried, dropped             *telemetry.Counter
 	jobSeconds                             *telemetry.Histogram
 	waitSeconds                            *telemetry.Histogram
 
@@ -191,6 +211,8 @@ func NewQueue(workers, capacity int, jobTimeout time.Duration, m *telemetry.Regi
 		failed:     m.Counter("queue.jobs_failed"),
 		rejected:   m.Counter("queue.jobs_rejected"),
 		canceled:   m.Counter("queue.jobs_canceled"),
+		retried:    m.Counter("queue.jobs_retried"),
+		dropped:    m.Counter("jobs.dropped_at_shutdown"),
 		jobSeconds: m.Histogram("queue.job_seconds"),
 		// Queue wait is routinely sub-millisecond on an idle service, so
 		// its buckets start two decades below the job-latency ones.
@@ -214,6 +236,37 @@ func (q *Queue) SetTracer(rec *trace.Recorder) {
 	q.tracer = rec
 }
 
+// SetObserver registers fn to be called once per job, at the moment it
+// reaches a terminal status (after the status is visible through
+// Snapshot, outside the job's lock). The service tier uses it to funnel
+// every outcome into one place: journal terminal records, checkpoint
+// cleanup, circuit-breaker accounting. Call before serving traffic.
+func (q *Queue) SetObserver(fn func(*Job)) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.observer = fn
+}
+
+// Depth returns the number of queued (not yet picked up) jobs.
+func (q *Queue) Depth() int { return len(q.ch) }
+
+// Cap returns the queue's capacity.
+func (q *Queue) Cap() int { return cap(q.ch) }
+
+// Draining reports whether Drain has begun — terminal states reached
+// after this point may be shutdown artifacts rather than real
+// outcomes, which the journal must not record as terminal.
+func (q *Queue) Draining() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// NewID returns a fresh random job ID in the queue's format. The
+// service tier pre-allocates IDs so a job can be journaled durably
+// before it becomes visible in the queue.
+func NewID() string { return newID() }
+
 // newID returns a random 128-bit hex job ID.
 func newID() string {
 	var b [16]byte
@@ -223,11 +276,62 @@ func newID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// idHash folds a job ID into the 64-bit jitter key (FNV-1a).
+func idHash(id string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SubmitOptions extends Submit with lease/attempt accounting and
+// journal-replay identity. The zero value reproduces plain Submit.
+type SubmitOptions struct {
+	// ID fixes the job ID instead of generating one — journal replay
+	// resubmits a crashed job under its original ID so client-held
+	// status URLs survive the restart. Duplicate IDs are rejected.
+	ID string
+	// Attempt seeds the attempt counter with work already spent before
+	// this submission (prior attempts from a replayed journal).
+	Attempt int
+	// MaxAttempts bounds total attempts (default 1: no retry). A job
+	// failing with a retryable kind (resilience.Retryable) below the
+	// bound is re-enqueued after the Backoff delay; permanent failures
+	// (invalid input, singular systems, cancellation) terminalize
+	// immediately regardless of remaining budget.
+	MaxAttempts int
+	// Backoff schedules the delay between attempts (zero: immediate).
+	Backoff resilience.Backoff
+}
+
 // Submit enqueues run, returning ErrQueueFull when the FIFO is at
 // capacity and ErrClosed after Drain has begun.
 func (q *Queue) Submit(run Runner) (*Job, error) {
-	j := &Job{ID: newID(), run: run, status: StatusQueued, submitted: time.Now(),
-		done: make(chan struct{}), changed: make(chan struct{})}
+	return q.SubmitOpts(run, SubmitOptions{})
+}
+
+// SubmitOpts enqueues run with explicit lease/retry options.
+func (q *Queue) SubmitOpts(run Runner, opt SubmitOptions) (*Job, error) {
+	id := opt.ID
+	if id == "" {
+		id = newID()
+	}
+	maxAttempts := opt.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	// A replayed job arrives with its budget partly spent; always leave
+	// at least one attempt, or a crash loop could strand work as
+	// permanently queued-but-unrunnable.
+	if opt.Attempt >= maxAttempts {
+		maxAttempts = opt.Attempt + 1
+	}
+	j := &Job{ID: id, run: run, status: StatusQueued, submitted: time.Now(),
+		attempt: opt.Attempt, maxAttempts: maxAttempts, backoff: opt.Backoff,
+		idHash: idHash(id),
+		done:   make(chan struct{}), changed: make(chan struct{})}
 	j.ctx, j.cancel = context.WithCancel(q.base)
 
 	q.mu.Lock()
@@ -236,6 +340,11 @@ func (q *Queue) Submit(run Runner) (*Job, error) {
 		j.cancel()
 		q.rejected.Inc()
 		return nil, ErrClosed
+	}
+	if _, dup := q.jobs[j.ID]; dup {
+		q.mu.Unlock()
+		j.cancel()
+		return nil, fmt.Errorf("jobs: duplicate job ID %s", j.ID)
 	}
 	// The trace must exist before the job is visible to a worker: runJob
 	// reads j.trace/j.waitSpan without locking, relying on the channel
@@ -278,6 +387,18 @@ func (q *Queue) Cancel(id string) bool {
 		return false
 	}
 	j.cancel()
+	// A job parked on a backoff timer has no worker watching its context;
+	// stop the timer and terminalize it here instead of letting the
+	// cancellation wait out the backoff.
+	j.mu.Lock()
+	if j.waitingRetry && j.retryTimer != nil && j.retryTimer.Stop() {
+		j.waitingRetry = false
+		j.retryTimer = nil
+		j.mu.Unlock()
+		q.finalize(j, StatusCanceled, nil)
+		return true
+	}
+	j.mu.Unlock()
 	return true
 }
 
@@ -289,15 +410,41 @@ func (q *Queue) worker() {
 	}
 }
 
+// Meta identifies the job execution a Runner invocation belongs to. The
+// queue attaches it to every runner context so the service tier can tag
+// journal records and checkpoints with the job that produced them.
+type Meta struct {
+	JobID   string
+	Attempt int // 1-based pickup count, > 1 on a retry or replay
+}
+
+type metaKey struct{}
+
+// MetaFrom extracts the job meta from a runner context; ok is false
+// when ctx did not come from a queue worker.
+func MetaFrom(ctx context.Context) (Meta, bool) {
+	m, ok := ctx.Value(metaKey{}).(Meta)
+	return m, ok
+}
+
 func (q *Queue) runJob(j *Job) {
 	j.mu.Lock()
 	j.status = StatusRunning
 	j.started = time.Now()
-	j.queueWait = j.started.Sub(j.submitted)
+	j.attempt++
+	attempt := j.attempt
+	firstPickup := j.queueWait == 0
+	if firstPickup {
+		j.queueWait = j.started.Sub(j.submitted)
+	}
+	wait := j.queueWait
 	j.notifyLocked()
 	j.mu.Unlock()
-	q.waitSeconds.Observe(j.queueWait.Seconds())
-	j.waitSpan.End()
+	if firstPickup {
+		q.waitSeconds.Observe(wait.Seconds())
+		j.waitSpan.End()
+		j.waitSpan = nil
+	}
 	q.running.Add(1)
 	defer q.running.Add(-1)
 
@@ -307,6 +454,7 @@ func (q *Queue) runJob(j *Job) {
 		ctx, cancel = context.WithTimeout(ctx, q.timeout)
 		defer cancel()
 	}
+	ctx = context.WithValue(ctx, metaKey{}, Meta{JobID: j.ID, Attempt: attempt})
 	if j.trace != nil {
 		ctx = trace.ContextWithSpan(ctx, j.trace.Root())
 	}
@@ -321,6 +469,43 @@ func (q *Queue) runJob(j *Job) {
 	v, err := runRecovered(runCtx, j.run, progress)
 	runSpan.End()
 
+	kind := resilience.Classify(err)
+	canceled := err != nil && (errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) || kind == resilience.KindCanceled)
+
+	if err != nil && !canceled && resilience.Retryable(kind) && attempt < j.maxAttempts {
+		// Transient failure with attempt budget left: park the job on a
+		// backoff timer instead of terminalizing. q.mu (taken first, never
+		// inside j.mu) makes the park atomic with respect to Drain, so a
+		// parked timer is either stopped by Drain's sweep or fires into a
+		// requeue that sees the closed queue.
+		q.mu.Lock()
+		if !q.closed {
+			j.mu.Lock()
+			j.err = err
+			j.status = StatusQueued
+			j.waitingRetry = true
+			j.retryTimer = time.AfterFunc(j.backoff.Delay(attempt, j.idHash),
+				func() { q.requeue(j) })
+			j.notifyLocked()
+			j.mu.Unlock()
+			q.mu.Unlock()
+			q.retried.Inc()
+			return
+		}
+		q.mu.Unlock()
+		// Draining: abandon the retry without a terminal transition. No
+		// terminal journal record is written, so a restart replays the
+		// job; jobs.dropped_at_shutdown accounts for the abandoned work.
+		j.mu.Lock()
+		j.err = err
+		j.status = StatusQueued
+		j.notifyLocked()
+		j.mu.Unlock()
+		q.dropped.Inc()
+		return
+	}
+
 	j.mu.Lock()
 	j.finished = time.Now()
 	j.result, j.err = v, err
@@ -328,8 +513,7 @@ func (q *Queue) runJob(j *Job) {
 	case err == nil:
 		j.status = StatusSucceeded
 		q.completed.Inc()
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
-		resilience.Classify(err) == resilience.KindCanceled:
+	case canceled:
 		j.status = StatusCanceled
 		q.canceled.Inc()
 	default:
@@ -346,6 +530,87 @@ func (q *Queue) runJob(j *Job) {
 		j.trace.Finish()
 	}
 	q.jobSeconds.Observe(elapsed.Seconds())
+	q.notifyObserver(j)
+}
+
+// requeue returns a backoff-parked job to the FIFO when its retry timer
+// fires.
+func (q *Queue) requeue(j *Job) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		// Queue drained while the job was parked: abandon it non-terminal
+		// (see the drain comment in runJob).
+		j.mu.Lock()
+		stillParked := j.waitingRetry
+		j.waitingRetry = false
+		j.notifyLocked()
+		j.mu.Unlock()
+		if stillParked {
+			q.dropped.Inc()
+		}
+		return
+	}
+	select {
+	case q.ch <- j:
+		q.mu.Unlock()
+		j.mu.Lock()
+		j.waitingRetry = false
+		j.retryTimer = nil
+		j.notifyLocked()
+		j.mu.Unlock()
+		q.depth.Set(float64(len(q.ch)))
+	default:
+		// No capacity left for the retry: fail the job with the error the
+		// park preserved rather than wait unboundedly for a slot.
+		q.mu.Unlock()
+		j.mu.Lock()
+		j.waitingRetry = false
+		j.retryTimer = nil
+		j.mu.Unlock()
+		q.finalize(j, StatusFailed, nil)
+	}
+}
+
+// finalize moves a non-running job to a terminal status from outside a
+// worker (retry-requeue overflow, cancel-while-parked). err == nil
+// keeps the job's last recorded error.
+func (q *Queue) finalize(j *Job, status Status, err error) {
+	j.mu.Lock()
+	if j.status.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.finished = time.Now()
+	if err != nil {
+		j.err = err
+	}
+	j.status = status
+	switch status {
+	case StatusSucceeded:
+		q.completed.Inc()
+	case StatusCanceled:
+		q.canceled.Inc()
+	default:
+		q.failed.Inc()
+	}
+	close(j.done)
+	j.notifyLocked()
+	j.mu.Unlock()
+	if j.trace != nil {
+		j.trace.Root().SetAttr("status", string(status))
+		j.trace.Finish()
+	}
+	q.notifyObserver(j)
+}
+
+func (q *Queue) notifyObserver(j *Job) {
+	q.mu.Lock()
+	fn := q.observer
+	q.mu.Unlock()
+	if fn != nil {
+		fn(j)
+	}
 }
 
 // runRecovered invokes the runner with panic recovery, so one bad job
@@ -365,8 +630,12 @@ func runRecovered(ctx context.Context, run Runner, progress func(int, int)) (v a
 
 // Drain gracefully shuts the queue down: new submissions are rejected,
 // queued and running jobs are given until ctx expires to finish, then
-// every remaining job is cancelled and the workers are joined. Drain
-// returns nil when all work finished before the deadline.
+// every remaining job is cancelled and the workers are joined. Jobs
+// parked on retry-backoff timers are abandoned without a terminal
+// transition — no terminal journal record is written for them, so a
+// restart against the same journal replays them; the abandoned count is
+// exposed as jobs.dropped_at_shutdown. Drain returns nil when all
+// accepted work finished (or was so abandoned) before the deadline.
 func (q *Queue) Drain(ctx context.Context) error {
 	q.mu.Lock()
 	if q.closed {
@@ -376,6 +645,10 @@ func (q *Queue) Drain(ctx context.Context) error {
 	q.closed = true
 	close(q.ch)
 	q.mu.Unlock()
+	// First sweep now, so hour-long backoff timers cannot hold the drain
+	// hostage; second sweep after the workers join, catching jobs parked
+	// while the drain was in progress.
+	q.dropRetryWaiters()
 
 	done := make(chan struct{})
 	go func() {
@@ -384,12 +657,36 @@ func (q *Queue) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		q.dropRetryWaiters()
 		return nil
 	case <-ctx.Done():
 		// Deadline: cancel everything still in flight and wait for the
 		// workers to notice.
 		q.cancel()
 		<-done
+		q.dropRetryWaiters()
 		return ctx.Err()
+	}
+}
+
+// dropRetryWaiters stops every pending retry timer and counts the
+// parked jobs as dropped. A timer that already fired is counted by
+// requeue's closed-queue path instead, never by both (waitingRetry is
+// cleared under the job lock by whichever side wins).
+func (q *Queue) dropRetryWaiters() {
+	q.mu.Lock()
+	parked := make([]*Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		parked = append(parked, j)
+	}
+	q.mu.Unlock()
+	for _, j := range parked {
+		j.mu.Lock()
+		if j.waitingRetry && j.retryTimer != nil && j.retryTimer.Stop() {
+			j.waitingRetry = false
+			j.retryTimer = nil
+			q.dropped.Inc()
+		}
+		j.mu.Unlock()
 	}
 }

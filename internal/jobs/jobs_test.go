@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -465,5 +466,276 @@ func TestJobTraceSpans(t *testing.T) {
 		t.Fatalf("expected queue full, got job %v", rj.ID)
 	} else if got := len(rec.Recent(0)); got != 3 {
 		t.Fatalf("rejected job left a trace: %d recorded, want 3", got)
+	}
+}
+
+func transientErr() error {
+	return resilience.Errorf(resilience.KindConvergence, "test.op", "transient")
+}
+
+// A retryable failure below the attempt bound must re-enqueue the job
+// and eventually succeed, with the pickup count visible in snapshots.
+func TestRetryableFailureRetriesThenSucceeds(t *testing.T) {
+	m := telemetry.NewRegistry()
+	q, err := NewQueue(1, 4, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+
+	var calls atomic.Int64
+	j, err := q.SubmitOpts(func(ctx context.Context, _ func(int, int)) (any, error) {
+		if calls.Add(1) < 3 {
+			return nil, transientErr()
+		}
+		meta, ok := MetaFrom(ctx)
+		if !ok || meta.Attempt != 3 {
+			return nil, errors.New("runner context meta missing or wrong")
+		}
+		return "ok", nil
+	}, SubmitOptions{MaxAttempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, j)
+	if v, err := j.Result(); err != nil || v != "ok" {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+	info := j.Snapshot()
+	if info.Attempt != 3 || info.MaxAttempts != 3 {
+		t.Fatalf("attempt accounting = %d/%d, want 3/3", info.Attempt, info.MaxAttempts)
+	}
+	if got := m.Counter("queue.jobs_retried").Value(); got != 2 {
+		t.Fatalf("jobs_retried = %d, want 2", got)
+	}
+}
+
+// Permanent failure kinds must not consume retry budget.
+func TestPermanentFailureDoesNotRetry(t *testing.T) {
+	m := telemetry.NewRegistry()
+	q, err := NewQueue(1, 4, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+
+	var calls atomic.Int64
+	j, err := q.SubmitOpts(func(context.Context, func(int, int)) (any, error) {
+		calls.Add(1)
+		return nil, resilience.Errorf(resilience.KindInvalidInput, "test.op", "bad input")
+	}, SubmitOptions{MaxAttempts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, j)
+	if calls.Load() != 1 {
+		t.Fatalf("permanent failure ran %d times", calls.Load())
+	}
+	if info := j.Snapshot(); info.Status != StatusFailed {
+		t.Fatalf("status = %s, want failed", info.Status)
+	}
+	if got := m.Counter("queue.jobs_retried").Value(); got != 0 {
+		t.Fatalf("jobs_retried = %d, want 0", got)
+	}
+}
+
+// Exhausting the attempt budget terminalizes with the last error.
+func TestRetryBudgetExhausted(t *testing.T) {
+	q, err := NewQueue(1, 4, 0, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+
+	var calls atomic.Int64
+	j, err := q.SubmitOpts(func(context.Context, func(int, int)) (any, error) {
+		calls.Add(1)
+		return nil, transientErr()
+	}, SubmitOptions{MaxAttempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, j)
+	if calls.Load() != 3 {
+		t.Fatalf("ran %d times, want 3", calls.Load())
+	}
+	_, jerr := j.Result()
+	if resilience.Classify(jerr) != resilience.KindConvergence {
+		t.Fatalf("final error %v lost its classification", jerr)
+	}
+}
+
+// The backoff schedule must actually separate attempts in time.
+func TestRetryHonorsBackoff(t *testing.T) {
+	q, err := NewQueue(1, 4, 0, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+
+	var calls atomic.Int64
+	start := time.Now()
+	j, err := q.SubmitOpts(func(context.Context, func(int, int)) (any, error) {
+		if calls.Add(1) < 3 {
+			return nil, transientErr()
+		}
+		return nil, nil
+	}, SubmitOptions{MaxAttempts: 3, Backoff: resilience.Backoff{Base: 25 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, j)
+	// Two parks: 25ms + 50ms of scheduled backoff.
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("3 attempts in %v; backoff not applied", elapsed)
+	}
+}
+
+// Draining while a job waits out its backoff abandons the job without a
+// terminal transition and counts it in jobs.dropped_at_shutdown.
+func TestDrainDropsRetryWaiters(t *testing.T) {
+	m := telemetry.NewRegistry()
+	q, err := NewQueue(1, 4, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	running := make(chan struct{}, 8)
+	j, err := q.SubmitOpts(func(context.Context, func(int, int)) (any, error) {
+		running <- struct{}{}
+		return nil, transientErr()
+	}, SubmitOptions{MaxAttempts: 2, Backoff: resilience.Backoff{Base: time.Hour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	// Wait until the job is parked on its hour-long backoff timer.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if info := j.Snapshot(); info.Status == StatusQueued && info.Attempt == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never parked for retry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := m.Counter("jobs.dropped_at_shutdown").Value(); got != 1 {
+		t.Fatalf("dropped_at_shutdown = %d, want 1", got)
+	}
+	if info := j.Snapshot(); info.Status.Terminal() {
+		t.Fatalf("abandoned job terminalized as %s; must stay replayable", info.Status)
+	}
+}
+
+// Canceling a job parked on a backoff timer terminalizes it immediately
+// instead of waiting out the backoff.
+func TestCancelParkedRetry(t *testing.T) {
+	q, err := NewQueue(1, 4, 0, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+
+	j, err := q.SubmitOpts(func(context.Context, func(int, int)) (any, error) {
+		return nil, transientErr()
+	}, SubmitOptions{MaxAttempts: 2, Backoff: resilience.Backoff{Base: time.Hour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if info := j.Snapshot(); info.Status == StatusQueued && info.Attempt == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never parked for retry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !q.Cancel(j.ID) {
+		t.Fatal("cancel refused")
+	}
+	await(t, j)
+	if info := j.Snapshot(); info.Status != StatusCanceled {
+		t.Fatalf("status = %s, want canceled", info.Status)
+	}
+}
+
+// The terminal observer fires exactly once per job, after the terminal
+// status is visible, including for retried jobs.
+func TestObserverFiresOncePerTerminalJob(t *testing.T) {
+	q, err := NewQueue(2, 8, 0, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+
+	var mu sync.Mutex
+	seen := map[string][]Status{}
+	q.SetObserver(func(j *Job) {
+		mu.Lock()
+		seen[j.ID] = append(seen[j.ID], j.Snapshot().Status)
+		mu.Unlock()
+	})
+
+	var calls atomic.Int64
+	ok, err := q.SubmitOpts(func(context.Context, func(int, int)) (any, error) {
+		if calls.Add(1) < 2 {
+			return nil, transientErr()
+		}
+		return nil, nil
+	}, SubmitOptions{MaxAttempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := q.Submit(func(context.Context, func(int, int)) (any, error) {
+		return nil, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, ok)
+	await(t, bad)
+	mu.Lock()
+	defer mu.Unlock()
+	if got := seen[ok.ID]; len(got) != 1 || got[0] != StatusSucceeded {
+		t.Fatalf("observer for retried job saw %v", got)
+	}
+	if got := seen[bad.ID]; len(got) != 1 || got[0] != StatusFailed {
+		t.Fatalf("observer for failed job saw %v", got)
+	}
+}
+
+// Explicit IDs (journal replay) round-trip, and duplicates are refused.
+func TestExplicitIDAndDuplicateRejection(t *testing.T) {
+	q, err := NewQueue(1, 4, 0, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(context.Background())
+
+	block := make(chan struct{})
+	j, err := q.SubmitOpts(func(context.Context, func(int, int)) (any, error) {
+		<-block
+		return nil, nil
+	}, SubmitOptions{ID: "replayed-job-1", Attempt: 2, MaxAttempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "replayed-job-1" {
+		t.Fatalf("ID = %s", j.ID)
+	}
+	if _, err := q.SubmitOpts(func(context.Context, func(int, int)) (any, error) {
+		return nil, nil
+	}, SubmitOptions{ID: "replayed-job-1"}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	close(block)
+	await(t, j)
+	// Replay with spent budget still got its one attempt: seeded 2, ran once.
+	if info := j.Snapshot(); info.Attempt != 3 {
+		t.Fatalf("attempt = %d, want 3 (seeded 2 + 1 run)", info.Attempt)
 	}
 }

@@ -1,0 +1,232 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"roughsim/internal/telemetry"
+)
+
+func openT(t *testing.T, path string) (*Journal, []Pending) {
+	t.Helper()
+	j, pending, err := Open(path, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, pending
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, pending := openT(t, path)
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal has %d pending jobs", len(pending))
+	}
+	cfg := json.RawMessage(`{"freqs_hz":[1e9]}`)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.Append(Record{Op: OpSubmitted, JobID: "a", Key: "k-a", Config: cfg}))
+	must(j.Append(Record{Op: OpStarted, JobID: "a", Attempt: 1}))
+	must(j.Append(Record{Op: OpSubmitted, JobID: "b", Key: "k-b", Config: cfg}))
+	must(j.Append(Record{Op: OpAnchorDone, JobID: "a"}.WithAnchor(-1)))
+	must(j.Append(Record{Op: OpAnchorDone, JobID: "a"}.WithAnchor(3)))
+	must(j.Append(Record{Op: OpSubmitted, JobID: "c", Key: "k-c", Config: cfg}))
+	must(j.Append(Record{Op: OpCompleted, JobID: "c"}))
+	j.Close()
+
+	_, pending = openT(t, path)
+	if len(pending) != 2 {
+		t.Fatalf("pending = %d jobs, want 2 (a, b)", len(pending))
+	}
+	a, b := pending[0], pending[1]
+	if a.JobID != "a" || b.JobID != "b" {
+		t.Fatalf("pending order = %q, %q; want a, b", a.JobID, b.JobID)
+	}
+	if a.Attempts != 1 || a.AnchorsDone != 2 || a.Key != "k-a" {
+		t.Fatalf("job a replayed as %+v", a)
+	}
+	if string(a.Config) != string(cfg) {
+		t.Fatalf("config round-trip: %s", a.Config)
+	}
+	if b.Attempts != 0 || b.AnchorsDone != 0 {
+		t.Fatalf("job b replayed as %+v", b)
+	}
+}
+
+func TestAnchorWireOffsetRoundTrips(t *testing.T) {
+	for _, node := range []int{-1, 0, 1, 7} {
+		r := Record{Op: OpAnchorDone}.WithAnchor(node)
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Record
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.AnchorNode() != node {
+			t.Fatalf("anchor %d round-tripped to %d", node, back.AnchorNode())
+		}
+	}
+}
+
+// A torn tail — the partial frame a kill -9 mid-append leaves — must be
+// discarded on replay without losing the records before it.
+func TestTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openT(t, path)
+	if err := j.Append(Record{Op: OpSubmitted, JobID: "a", Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpSubmitted, JobID: "b", Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	for name, tear := range map[string]func([]byte) []byte{
+		"short-frame":    func(b []byte) []byte { return append(b, 0x00, 0x00, 0x01) },
+		"length-runaway": func(b []byte) []byte { return append(b, 0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 'x') },
+		"crc-mismatch": func(b []byte) []byte {
+			// A full frame whose payload does not match its CRC.
+			return append(b, 0, 0, 0, 2, 0xde, 0xad, 0xbe, 0xef, '{', '}')
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			torn := filepath.Join(t.TempDir(), "wal")
+			if err := os.WriteFile(torn, tear(append([]byte(nil), b...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			m := telemetry.NewRegistry()
+			jr, pending, err := Open(torn, m)
+			if err != nil {
+				t.Fatalf("torn journal failed to open: %v", err)
+			}
+			defer jr.Close()
+			if len(pending) != 2 {
+				t.Fatalf("pending = %d, want the 2 intact records", len(pending))
+			}
+			if n := m.Counter("journal.torn_tails").Value(); n != 1 {
+				t.Fatalf("torn_tails = %d, want 1", n)
+			}
+			// The rewrite (compaction) must have healed the file: a second
+			// open sees no tear.
+			m2 := telemetry.NewRegistry()
+			jr2, pending2, err := Open(torn, m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer jr2.Close()
+			if len(pending2) != 2 || m2.Counter("journal.torn_tails").Value() != 0 {
+				t.Fatalf("reopen after heal: %d pending, torn=%d", len(pending2),
+					m2.Counter("journal.torn_tails").Value())
+			}
+		})
+	}
+}
+
+// Compaction keeps the file proportional to the live work set: finished
+// jobs leave no bytes behind after a reopen.
+func TestCompactionBoundsGrowth(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openT(t, path)
+	for i := 0; i < 200; i++ {
+		id := string(rune('a'+i%26)) + "-job"
+		if err := j.Append(Record{Op: OpSubmitted, JobID: id, Key: "k"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{Op: OpCompleted, JobID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(Record{Op: OpSubmitted, JobID: "live", Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	before, _ := os.Stat(path)
+
+	_, pending := openT(t, path)
+	if len(pending) != 1 || pending[0].JobID != "live" {
+		t.Fatalf("pending = %+v, want only job live", pending)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size()/10 {
+		t.Fatalf("compaction left %d of %d bytes", after.Size(), before.Size())
+	}
+}
+
+// Records with an unknown schema version are skipped, not misread.
+func TestUnknownSchemaSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	future, err := encodeFrame(Record{Schema: SchemaVersion + 1, Op: OpSubmitted, JobID: "x", Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// encodeFrame preserves the schema we set? Append overwrites it, but
+	// encodeFrame does not — verify the fixture is what we think.
+	var check Record
+	if err := json.Unmarshal(future[frameHeader:], &check); err != nil || check.Schema != SchemaVersion+1 {
+		t.Fatalf("fixture schema = %d, err %v", check.Schema, err)
+	}
+	if err := os.WriteFile(path, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.NewRegistry()
+	jr, pending, err := Open(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	if len(pending) != 0 {
+		t.Fatalf("future-schema record replayed: %+v", pending)
+	}
+	if m.Counter("journal.schema_skips").Value() != 1 {
+		t.Fatal("schema skip not counted")
+	}
+}
+
+func TestFoldSemantics(t *testing.T) {
+	recs := []Record{
+		{Op: OpSubmitted, JobID: "a", Key: "ka", Attempt: 2}, // compacted record carries prior attempts
+		{Op: OpStarted, JobID: "a", Attempt: 3},
+		{Op: OpSubmitted, JobID: "dup", Key: "k1"},
+		{Op: OpSubmitted, JobID: "dup", Key: "k2"},  // duplicate submit ignored
+		{Op: OpStarted, JobID: "ghost", Attempt: 1}, // started without submitted: ignored
+		{Op: OpSubmitted, JobID: "f", Key: "kf"},
+		{Op: OpFailed, JobID: "f", Kind: "invalid-input"},
+		{Op: OpSubmitted, JobID: "c", Key: "kc"},
+		{Op: OpCanceled, JobID: "c"},
+	}
+	pending := Fold(recs)
+	if len(pending) != 2 {
+		t.Fatalf("pending = %+v, want a and dup", pending)
+	}
+	if pending[0].JobID != "a" || pending[0].Attempts != 3 {
+		t.Fatalf("job a folded as %+v", pending[0])
+	}
+	if pending[1].JobID != "dup" || pending[1].Key != "k1" {
+		t.Fatalf("dup folded as %+v", pending[1])
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openT(t, path)
+	j.Close()
+	if err := j.Append(Record{Op: OpSubmitted, JobID: "x"}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}

@@ -55,6 +55,7 @@ type Cache struct {
 	calls map[Key]*call
 
 	hits, misses, diskHits, evictions, shared, diskErrors *telemetry.Counter
+	quarantined                                           *telemetry.Counter
 	entries                                               *telemetry.Gauge
 }
 
@@ -80,18 +81,19 @@ func New(capacity int, opt Options) (*Cache, error) {
 	}
 	m := opt.Metrics
 	return &Cache{
-		capacity:   capacity,
-		opt:        opt,
-		ll:         list.New(),
-		items:      map[Key]*list.Element{},
-		calls:      map[Key]*call{},
-		hits:       m.Counter("cache.hits"),
-		misses:     m.Counter("cache.misses"),
-		diskHits:   m.Counter("cache.disk_hits"),
-		evictions:  m.Counter("cache.evictions"),
-		shared:     m.Counter("cache.singleflight_shared"),
-		diskErrors: m.Counter("cache.disk_errors"),
-		entries:    m.Gauge("cache.entries"),
+		capacity:    capacity,
+		opt:         opt,
+		ll:          list.New(),
+		items:       map[Key]*list.Element{},
+		calls:       map[Key]*call{},
+		hits:        m.Counter("cache.hits"),
+		misses:      m.Counter("cache.misses"),
+		diskHits:    m.Counter("cache.disk_hits"),
+		evictions:   m.Counter("cache.evictions"),
+		shared:      m.Counter("cache.singleflight_shared"),
+		diskErrors:  m.Counter("cache.disk_errors"),
+		quarantined: m.Counter("cache.quarantined"),
+		entries:     m.Gauge("cache.entries"),
 	}, nil
 }
 
@@ -125,7 +127,7 @@ func (c *Cache) Get(key Key) (any, bool) {
 				c.mu.Unlock()
 				return v, true
 			}
-			c.diskErrors.Inc()
+			c.quarantine(key)
 		}
 	}
 	c.misses.Inc()
@@ -201,7 +203,7 @@ func (c *Cache) load(ctx context.Context, key Key, compute func(context.Context)
 				return v, true, nil
 			}
 			// A corrupt file falls through to recompute (and rewrite).
-			c.diskErrors.Inc()
+			c.quarantine(key)
 		}
 	}
 	v, err := compute(ctx)
@@ -234,8 +236,42 @@ func (c *Cache) insertLocked(key Key, v any) {
 	c.entries.Set(float64(c.ll.Len()))
 }
 
+// Delete removes key from both tiers. The durable-sweep path uses it to
+// purge consumed per-node checkpoints once a job's final result is
+// itself durably cached, so checkpoint space is bounded by in-flight
+// work rather than history.
+func (c *Cache) Delete(key Key) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.entries.Set(float64(c.ll.Len()))
+	}
+	c.mu.Unlock()
+	if c.opt.Dir != "" {
+		if err := os.Remove(c.path(key)); err != nil && !os.IsNotExist(err) {
+			c.diskErrors.Inc()
+		}
+	}
+}
+
 func (c *Cache) path(key Key) string {
 	return filepath.Join(c.opt.Dir, key.String()+".json")
+}
+
+// quarantine moves a disk entry that failed to decode aside (same name
+// with a ".quarantine" suffix, atomically, clobbering any previous
+// quarantined generation) instead of deleting it: the entry stops being
+// served and stops failing every probe, but the bytes stay available
+// for a post-mortem. Rename-aside also self-heals the cache — the next
+// compute rewrites the slot through the atomic write path.
+func (c *Cache) quarantine(key Key) {
+	c.diskErrors.Inc() // corruption is a disk error whether or not the rename lands
+	src := c.path(key)
+	if err := os.Rename(src, src+".quarantine"); err != nil {
+		return
+	}
+	c.quarantined.Inc()
 }
 
 // writeDisk persists one value atomically (temp file + fsync + rename,

@@ -300,3 +300,55 @@ func TestNewValidation(t *testing.T) {
 		t.Fatal("disk tier without codec must be rejected")
 	}
 }
+
+// TestCorruptDiskEntryIsQuarantined: a torn/corrupt disk entry must be
+// renamed aside (preserved for post-mortem), counted, never served, and
+// must not poison subsequent operation — the slot self-heals on the
+// next write.
+func TestCorruptDiskEntryIsQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	m := telemetry.NewRegistry()
+	c, err := New(4, Options{Dir: dir, Codec: jsonCodec(), Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOf(3.75, 7e9)
+	path := filepath.Join(dir, key.String()+".json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Get(key); ok {
+		t.Fatalf("corrupt entry served: %v", v)
+	}
+	if got := m.Counter("cache.quarantined").Value(); got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+	// The bytes moved aside, verbatim.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still present: %v", err)
+	}
+	if b, err := os.ReadFile(path + ".quarantine"); err != nil || string(b) != "{torn" {
+		t.Fatalf("quarantined bytes = %q, %v", b, err)
+	}
+	// Not fatal: the slot heals through the normal write path, and the
+	// healed entry is served while the quarantined bytes stay put.
+	c.Put(key, 9.5)
+	fresh, err := New(4, Options{Dir: dir, Codec: jsonCodec(), Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fresh.Get(key); !ok || v.(float64) != 9.5 {
+		t.Fatalf("healed entry: v=%v ok=%v", v, ok)
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Fatalf("quarantine file lost: %v", err)
+	}
+	// Delete removes both tiers' live entry (quarantine remains).
+	c.Delete(key)
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("Delete left the disk entry: %v", err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("Delete left the memory entry")
+	}
+}

@@ -1,6 +1,11 @@
 package resilience
 
-import "fmt"
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
 
 // FaultSpec selects a deterministic subset of (op, key) pairs to fail.
 // A spec matches an op exactly; within an op it matches the explicit
@@ -12,6 +17,12 @@ type FaultSpec struct {
 	Keys     []uint64 // explicit keys to fail
 	Kind     Kind     // classification of the injected failure
 	Panic    bool     // deliver the fault as a panic instead of an error
+	// Exit escalates the fault to process level: a match terminates the
+	// process immediately with the SIGKILL-like status 137 (no deferred
+	// functions, no flushes), simulating a crash/OOM-kill at exactly
+	// this point. Delivered only through Injector.Crash — error-path
+	// call sites never exit.
+	Exit bool
 }
 
 func (s *FaultSpec) matches(key uint64) bool {
@@ -43,6 +54,7 @@ type InjectedFault struct {
 	Key   uint64
 	Kind  Kind
 	Panic bool
+	Exit  bool
 }
 
 func (f *InjectedFault) Error() string {
@@ -58,7 +70,7 @@ func (in *Injector) Fault(op string, key uint64) *InjectedFault {
 	for i := range in.specs {
 		s := &in.specs[i]
 		if s.Op == op && s.matches(key) {
-			return &InjectedFault{Op: op, Key: key, Kind: s.Kind, Panic: s.Panic}
+			return &InjectedFault{Op: op, Key: key, Kind: s.Kind, Panic: s.Panic, Exit: s.Exit}
 		}
 	}
 	return nil
@@ -69,6 +81,44 @@ func (in *Injector) Fault(op string, key uint64) *InjectedFault {
 // scheduling.
 func (in *Injector) Matches(op string, key uint64) bool {
 	return in.Fault(op, key) != nil
+}
+
+// osExit is swapped out by tests; production always terminates.
+var osExit = os.Exit
+
+// crashStatus mimics the wait status of a SIGKILLed process, so a
+// chaos-induced self-crash is indistinguishable from kill -9 to the
+// supervisor.
+const crashStatus = 137
+
+// Crash consults the injector at a process-level chaos point: when a
+// spec with Exit set matches (op, key), the process terminates
+// immediately — no deferred functions, no fsync, no graceful drain —
+// exactly like a kill -9 at that instruction. Call sites thread a
+// monotone occurrence counter as key ("crash at the n-th checkpoint
+// write"), which keeps process-level chaos as deterministic as the
+// error-level faults. Nil-safe and free when no spec matches, so
+// durability-critical paths can consult it unconditionally.
+func (in *Injector) Crash(op string, key uint64) {
+	if f := in.Fault(op, key); f != nil && f.Exit {
+		osExit(crashStatus)
+	}
+}
+
+// ParseCrashSpec parses the CLI chaos vocabulary "op:n" — crash the
+// process at the n-th consultation of the named chaos point (1-based)
+// — into a process-exit FaultSpec. Used by roughsimd's -chaos flag and
+// the chaos harness scripts.
+func ParseCrashSpec(s string) (FaultSpec, error) {
+	op, nth, ok := strings.Cut(s, ":")
+	if !ok || op == "" {
+		return FaultSpec{}, fmt.Errorf("resilience: chaos spec %q: want \"op:n\"", s)
+	}
+	n, err := strconv.ParseUint(nth, 10, 64)
+	if err != nil || n == 0 {
+		return FaultSpec{}, fmt.Errorf("resilience: chaos spec %q: occurrence must be a positive integer", s)
+	}
+	return FaultSpec{Op: op, Keys: []uint64{n}, Exit: true, Kind: KindPanic}, nil
 }
 
 // faultHash maps (op, key) to a uniform [0, 1) value: FNV-1a over the op

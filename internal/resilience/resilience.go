@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"roughsim/internal/cmplxmat"
 )
@@ -155,16 +156,21 @@ type Policy struct {
 	// through to the next one. Default 0: each stage runs once.
 	Retries int
 	// RetryOn reports whether a failure kind is worth retrying; nil
-	// retries convergence and numerical failures only (retrying an
-	// invalid input or a singular matrix cannot help).
+	// retries convergence and numerical failures only (see Retryable —
+	// retrying an invalid input or a singular matrix cannot help).
 	RetryOn func(Kind) bool
+	// Backoff is the wait schedule between retries of one stage (not
+	// between stages: falling through to the next solver immediately is
+	// the point of a fallback chain). The zero value keeps retries
+	// immediate.
+	Backoff Backoff
 }
 
 func (p Policy) retryable(k Kind) bool {
 	if p.RetryOn != nil {
 		return p.RetryOn(k)
 	}
-	return k == KindConvergence || k == KindNumerical
+	return Retryable(k)
 }
 
 // Execute runs the stages in order until one succeeds, consulting the
@@ -198,6 +204,17 @@ func (p Policy) Execute(ctx context.Context, op string, inj *Injector, key uint6
 			lastErr = err
 			if !p.retryable(kind) {
 				break
+			}
+			if attempt < p.Retries {
+				if d := p.Backoff.Delay(attempt+1, key); d > 0 {
+					t := time.NewTimer(d)
+					select {
+					case <-ctx.Done():
+						t.Stop()
+						return rep, ctx.Err()
+					case <-t.C:
+					}
+				}
 			}
 		}
 	}

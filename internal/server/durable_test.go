@@ -1,0 +1,290 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"roughsim"
+	"roughsim/internal/jobs"
+	"roughsim/internal/telemetry"
+)
+
+// durableConfig is the smallest crash-safe server: journal + disk cache
+// tiers under dir.
+func durableConfig(dir string, m *telemetry.Registry) Config {
+	return Config{
+		Workers:     1,
+		QueueDepth:  4,
+		CacheDir:    filepath.Join(dir, "cache"),
+		JournalPath: filepath.Join(dir, "journal.wal"),
+		Metrics:     m,
+	}
+}
+
+// TestOversizedBodyIs413: a body past the MaxBytesReader limit is a
+// payload problem (413), not a syntax problem (400) — on both decode
+// paths.
+func TestOversizedBodyIs413(t *testing.T) {
+	ts := startServer(t, Config{Workers: 1, QueueDepth: 2})
+	defer ts.shutdown(t)
+
+	// Valid-but-huge JSON (leading whitespace is legal) so the decoder
+	// reads past the byte limit instead of failing on syntax first.
+	huge := append(bytes.Repeat([]byte(" "), 1<<20+1), []byte("{}")...)
+	for _, path := range []string{"/v1/sweeps", "/v1/surrogates"} {
+		resp, err := ts.client.Post(ts.base+path, "application/json", bytes.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("POST %s with oversized body = %d, want 413", path, resp.StatusCode)
+		}
+	}
+	// Malformed-but-small bodies still map to 400.
+	resp, err := ts.client.Post(ts.base+"/v1/sweeps", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestQueueFullIs429WithRetryAfter: overload is a client-retryable
+// condition — 429 plus a Retry-After hint, not a bare 503.
+func TestQueueFullIs429WithRetryAfter(t *testing.T) {
+	ts := startServer(t, Config{Workers: 1, QueueDepth: 2})
+	defer ts.shutdown(t)
+
+	// One job occupies the worker, two fill the queue channel.
+	block := make(chan struct{})
+	defer close(block)
+	blocker := func(ctx context.Context, _ func(int, int)) (any, error) {
+		select {
+		case <-block:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if _, err := ts.srv.queue.Submit(blocker); err != nil {
+		t.Fatalf("setup submit: %v", err)
+	}
+	// Wait for the worker to take it off the channel, then fill the channel.
+	waitFor(t, time.Second, func() bool { return ts.srv.queue.Depth() == 0 })
+	for i := 0; i < 2; i++ {
+		if _, err := ts.srv.queue.Submit(blocker); err != nil {
+			t.Fatalf("setup submit %d: %v", i, err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return ts.srv.queue.Depth() >= 2 })
+
+	req, _ := http.NewRequest("POST", ts.base+"/v1/sweeps", bytes.NewReader(mustJSON(t, tinyConfig(5e9))))
+	resp, err := ts.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit against a full queue = %d, want 429", resp.StatusCode)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestBreakerTripsShedsAndRecovers drives the circuit breaker through
+// its whole lifecycle: closed → open on persistent failures (shedding
+// with Retry-After), half-open after the cooldown, closed again on a
+// healthy probe — with the state gauge tracking every transition.
+func TestBreakerTripsShedsAndRecovers(t *testing.T) {
+	m := telemetry.NewRegistry()
+	b := newBreaker(BreakerConfig{Window: 4, MinSamples: 2, FailureRatio: 0.5, Cooldown: 30 * time.Millisecond}, m)
+
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("fresh breaker refused work")
+	}
+	b.Record(false)
+	b.Record(false)
+	if b.State() != breakerOpen {
+		t.Fatalf("state after 2/2 failures = %v, want open", b.State())
+	}
+	if m.Counter("breaker.trips").Value() != 1 {
+		t.Fatalf("trips = %d, want 1", m.Counter("breaker.trips").Value())
+	}
+	retry, ok := b.Allow()
+	if ok || retry <= 0 {
+		t.Fatalf("open breaker admitted work (retry=%v ok=%v)", retry, ok)
+	}
+	if m.Counter("breaker.sheds").Value() != 1 {
+		t.Fatalf("sheds = %d, want 1", m.Counter("breaker.sheds").Value())
+	}
+	if g := m.Gauge("breaker.state").Value(); g != breakerOpen {
+		t.Fatalf("breaker.state gauge = %v, want %v", g, breakerOpen)
+	}
+
+	time.Sleep(40 * time.Millisecond)
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("breaker past cooldown refused the probe")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state after probe admit = %v, want half-open", b.State())
+	}
+	b.Record(true)
+	if b.State() != breakerClosed {
+		t.Fatalf("state after healthy probe = %v, want closed", b.State())
+	}
+
+	// A failed probe reopens immediately.
+	b.Record(false)
+	b.Record(false)
+	time.Sleep(40 * time.Millisecond)
+	b.Allow()
+	b.Record(false)
+	if b.State() != breakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+}
+
+// TestBreakerOpenSheds429: an open breaker turns POST /v1/sweeps into
+// 429 + Retry-After while /healthz and the rest of the read plane keep
+// serving.
+func TestBreakerOpenSheds429(t *testing.T) {
+	ts := startServer(t, Config{Workers: 1, QueueDepth: 4})
+	defer ts.shutdown(t)
+
+	ts.srv.brk.mu.Lock()
+	ts.srv.brk.openedAt = time.Now()
+	ts.srv.brk.setStateLocked(breakerOpen)
+	ts.srv.brk.mu.Unlock()
+
+	req, _ := http.NewRequest("POST", ts.base+"/v1/sweeps", bytes.NewReader(mustJSON(t, tinyConfig(5e9))))
+	resp, err := ts.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit behind open breaker = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if code, _ := ts.do(t, "GET", "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz behind open breaker = %d, want 200", code)
+	}
+}
+
+// TestJournalReplayAcrossRestart: a job journaled but orphaned by an
+// ungraceful drain is re-enqueued — under its original ID — by the next
+// server against the same journal, and completes.
+func TestJournalReplayAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	dir := t.TempDir()
+
+	m1 := telemetry.NewRegistry()
+	ts1 := startServer(t, durableConfig(dir, m1))
+
+	// Occupy the single worker so the journaled submission stays queued.
+	block := make(chan struct{})
+	ts1.srv.queue.Submit(func(ctx context.Context, _ func(int, int)) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	})
+	code, body := ts1.do(t, "POST", "/v1/sweeps", tinyConfig(5e9))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var info jobs.Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ungraceful stop: the drain context is already expired, so queued
+	// work is cancelled — a shutdown artifact the observer must NOT
+	// journal as terminal.
+	expired, cancel := context.WithDeadline(context.Background(), time.Now())
+	cancel()
+	close(block)
+	ts1.srv.Shutdown(expired)
+	<-ts1.serveErr
+
+	m2 := telemetry.NewRegistry()
+	ts2 := startServer(t, durableConfig(dir, m2))
+	if got := m2.Counter("journal.jobs_replayed").Value(); got != 1 {
+		t.Fatalf("jobs_replayed = %d, want 1", got)
+	}
+	res := ts2.waitResult(t, info.ID) // original ID survives the restart
+	var sr roughsim.SweepResult
+	if err := json.Unmarshal(res, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Points) != 1 || !(sr.Points[0].KSWM > 0) {
+		t.Fatalf("replayed result malformed: %s", res)
+	}
+	ts2.shutdown(t)
+
+	// A third boot sees a completed journal: nothing replays.
+	m3 := telemetry.NewRegistry()
+	ts3 := startServer(t, durableConfig(dir, m3))
+	if got := m3.Counter("journal.jobs_replayed").Value(); got != 0 {
+		t.Fatalf("clean journal replayed %d jobs, want 0", got)
+	}
+	ts3.shutdown(t)
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCheckpointPurgeAfterSuccess: a completed job leaves no checkpoint
+// columns behind (they are consumed into the result cache).
+func TestCheckpointPurgeAfterSuccess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	dir := t.TempDir()
+	m := telemetry.NewRegistry()
+	ts := startServer(t, durableConfig(dir, m))
+	defer ts.shutdown(t)
+
+	ts.submitAndWait(t, tinyConfig(5e9))
+	if saves := m.Counter("sweep.checkpoint_saves").Value(); saves == 0 {
+		t.Fatal("sweep saved no checkpoints")
+	}
+	// The purge runs in the terminal observer, which may still be
+	// finishing when the status first reads terminal — poll briefly.
+	ckptGone := func() bool {
+		files, err := filepath.Glob(filepath.Join(dir, "cache", "checkpoints", "*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(files) == 0
+	}
+	waitFor(t, 2*time.Second, ckptGone)
+	waitFor(t, 2*time.Second, func() bool {
+		ts.srv.ckptMu.Lock()
+		defer ts.srv.ckptMu.Unlock()
+		return len(ts.srv.ckptCfgs) == 0
+	})
+}

@@ -40,6 +40,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,7 @@ import (
 
 	"roughsim"
 	"roughsim/internal/jobs"
+	"roughsim/internal/journal"
 	"roughsim/internal/rescache"
 	"roughsim/internal/resilience"
 	"roughsim/internal/surrogate"
@@ -81,6 +83,30 @@ type Config struct {
 	// TraceCapacity bounds the ring of retained job traces (default
 	// trace.DefaultRecorderCap).
 	TraceCapacity int
+	// JournalPath enables the write-ahead job journal ("" disables):
+	// every accepted sweep is durably recorded before its 202, and a
+	// restart against the same path re-enqueues unfinished jobs under
+	// their original IDs.
+	JournalPath string
+	// MaxAttempts bounds how many times a transiently failing job runs
+	// before it fails permanently (default 3; 1 disables retries).
+	MaxAttempts int
+	// RetryBase is the base of the exponential between-attempt backoff
+	// (default 250ms).
+	RetryBase time.Duration
+	// Breaker tunes the exact-solve circuit breaker (see BreakerConfig).
+	Breaker BreakerConfig
+	// Chaos, when non-nil, injects deterministic faults (crash points)
+	// for resilience testing. Never set it in production.
+	Chaos *resilience.Injector
+	// ReadHeaderTimeout/IdleTimeout harden the HTTP server against slow
+	// or abandoned connections (defaults 10s / 2m).
+	ReadHeaderTimeout time.Duration
+	IdleTimeout       time.Duration
+	// StreamWriteTimeout bounds each SSE event write on /stream
+	// (default 30s; long-lived streams stay open — only a single
+	// stalled write tears a stream down).
+	StreamWriteTimeout time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: the profiler exposes stacks and heap contents.
 	EnablePprof bool
@@ -110,6 +136,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = telemetry.NewRegistry()
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.ReadHeaderTimeout <= 0 {
+		c.ReadHeaderTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.StreamWriteTimeout <= 0 {
+		c.StreamWriteTimeout = 30 * time.Second
 	}
 	if c.Log == nil {
 		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -150,6 +188,31 @@ type Server struct {
 	// and share the result.
 	flightMu sync.Mutex
 	flights  map[rescache.Key]*sweepFlight
+
+	// journal is the write-ahead job journal (nil when disabled); see
+	// durable.go for the submit/replay protocol.
+	journal *journal.Journal
+
+	// ckpts holds in-flight sweeps' per-node checkpoint columns —
+	// deliberately a separate cache from the result cache: its disk tier
+	// stores []float64 columns under its own codec, so a column can
+	// never be misdecoded as a SweepPoint (or quarantined as one).
+	ckpts *rescache.Cache
+
+	// ckptCfgs remembers, per job, the residual sweep config whose
+	// checkpoint keys the job may have written, so the terminal observer
+	// can purge them.
+	ckptMu   sync.Mutex
+	ckptCfgs map[string]roughsim.SweepConfig
+	ckptSeq  atomic.Uint64 // server-wide checkpoint-save ordinal (chaos occurrence key)
+	// ckptWriteMu serializes checkpoint persistence so the save ordinal
+	// is meaningful: "crash at the n-th save" then always leaves exactly
+	// n-1 durable columns, independent of engine worker interleaving.
+	ckptWriteMu sync.Mutex
+
+	// brk is the exact-solve circuit breaker; chaos the fault injector.
+	brk   *breaker
+	chaos *resilience.Injector
 }
 
 // sweepFlight is one in-flight sweep computation.
@@ -192,6 +255,19 @@ func New(cfg Config) (*Server, error) {
 		queue.Drain(context.Background())
 		return nil, err
 	}
+	// The checkpoint cache always exists (in-process retries resume from
+	// it); the disk tier — what crash recovery needs — rides along with
+	// the result cache's CacheDir.
+	ckptOpt := rescache.Options{Metrics: cfg.Metrics}
+	if cfg.CacheDir != "" {
+		ckptOpt.Dir = filepath.Join(cfg.CacheDir, "checkpoints")
+		ckptOpt.Codec = colCodec()
+	}
+	ckpts, err := rescache.New(cfg.CacheSize, ckptOpt)
+	if err != nil {
+		queue.Drain(context.Background())
+		return nil, err
+	}
 	s := &Server{
 		cfg:        cfg,
 		queue:      queue,
@@ -204,8 +280,24 @@ func New(cfg Config) (*Server, error) {
 		surrogates: surrogate.NewRegistry(cfg.SurrogateCap, cfg.SurrogateDir, cfg.Metrics),
 		sims:       map[rescache.Key]*roughsim.Simulation{},
 		flights:    map[rescache.Key]*sweepFlight{},
+		ckpts:      ckpts,
+		ckptCfgs:   map[string]roughsim.SweepConfig{},
+		brk:        newBreaker(cfg.Breaker, cfg.Metrics),
+		chaos:      cfg.Chaos,
 	}
 	queue.SetTracer(s.tracer)
+	// The observer (journal terminal records, breaker outcomes,
+	// checkpoint purge) must be live before replay re-enqueues anything.
+	queue.SetObserver(s.observeTerminal)
+	if cfg.JournalPath != "" {
+		jnl, pending, err := journal.Open(cfg.JournalPath, cfg.Metrics)
+		if err != nil {
+			queue.Drain(context.Background())
+			return nil, fmt.Errorf("server: open journal: %w", err)
+		}
+		s.journal = jnl
+		s.replayPending(pending)
+	}
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
@@ -229,7 +321,14 @@ func New(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	s.http = &http.Server{Handler: s.instrument(s.mux)}
+	s.http = &http.Server{
+		Handler: s.instrument(s.mux),
+		// Slow-loris / abandoned-connection hardening. No global
+		// WriteTimeout: /stream is legitimately long-lived — its writes
+		// are bounded per event instead (see handleStream).
+		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
+		IdleTimeout:       cfg.IdleTimeout,
+	}
 	return s, nil
 }
 
@@ -245,6 +344,13 @@ func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
 func (s *Server) Shutdown(ctx context.Context) error {
 	qerr := s.queue.Drain(ctx)
 	herr := s.http.Shutdown(ctx)
+	// The journal closes only after the drain: terminal records for jobs
+	// the drain completed must land before the file does.
+	if s.journal != nil {
+		if jerr := s.journal.Close(); jerr != nil && qerr == nil && herr == nil {
+			return jerr
+		}
+	}
 	if qerr != nil {
 		return qerr
 	}
@@ -270,6 +376,10 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	}
 	return sw.ResponseWriter.Write(b)
 }
+
+// Unwrap lets http.NewResponseController reach the connection through
+// the wrapper (per-event write deadlines on /stream).
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 // flushWriter adds Flush only when the wrapped writer supports it, so
 // handleStream's Flusher check still reflects the real connection.
@@ -350,6 +460,8 @@ func (s *Server) simFor(cfg roughsim.SweepConfig) (*roughsim.Simulation, error) 
 // (and, through the server-wide table cache, across jobs).
 func (s *Server) runSweep(cfg roughsim.SweepConfig) jobs.Runner {
 	return func(ctx context.Context, progress func(done, total int)) (any, error) {
+		meta, hasMeta := jobs.MetaFrom(ctx)
+		s.journalStarted(meta, hasMeta)
 		total := len(cfg.Freqs)
 		progress(0, total)
 		key := cfg.Key()
@@ -409,11 +521,20 @@ func (s *Server) computeSweep(ctx context.Context, cfg roughsim.SweepConfig, pro
 		for k, idx := range missing {
 			mf[k] = cfg.Freqs[idx]
 		}
-		pts, err := sim.SweepPoints(ctx, mf, func(done, mt int) {
+		// Checkpoints key on the residual sweep the engine actually
+		// executes (Freqs = mf): column lengths and keys then match on
+		// resume if and only if the same residual work repeats.
+		ckptCfg := cfg
+		ckptCfg.Freqs = mf
+		var jobID string
+		if meta, ok := jobs.MetaFrom(ctx); ok {
+			jobID = meta.JobID
+		}
+		pts, err := sim.SweepPointsCheckpointed(ctx, mf, func(done, mt int) {
 			if mt > 0 {
 				progress(cached+done*len(missing)/mt, total)
 			}
-		})
+		}, s.checkpointStore(jobID, ckptCfg))
 		if err != nil {
 			return nil, fmt.Errorf("server: sweep: %w", err)
 		}
@@ -449,7 +570,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&cfg); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeDecodeError(w, err)
 		return
 	}
 	cfg = cfg.WithDefaults()
@@ -457,10 +578,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.queue.Submit(s.runSweep(cfg))
+	if retry, err := s.admit(len(cfg.Freqs)); err != nil {
+		writeRetryError(w, http.StatusTooManyRequests, retry, err)
+		return
+	}
+	job, err := s.submitSweep(cfg)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		writeError(w, http.StatusServiceUnavailable, err)
+		// Overload, not outage: tell the client when to come back.
+		writeRetryError(w, http.StatusTooManyRequests, s.drainEstimate(s.queue.Depth()), err)
 		return
 	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -560,11 +686,20 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	// The stream is long-lived by design, so the server has no global
+	// write timeout; instead each event write gets its own deadline — a
+	// client that stops reading stalls one write, times out, and the
+	// stream tears down instead of pinning the handler forever. Deadline
+	// errors are ignored: test recorders don't implement the controller.
+	rc := http.NewResponseController(w)
+	defer rc.SetWriteDeadline(time.Time{})
+
 	// emit reports write failures so a disconnected client tears the
 	// stream down immediately instead of waiting for the context branch
 	// of the select below to win.
 	emit := func(event string, v any) error {
 		b, _ := json.Marshal(v)
+		rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
 		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
 			return err
 		}

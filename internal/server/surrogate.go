@@ -75,7 +75,7 @@ func (s *Server) handleSurrogateSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&cfg); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeDecodeError(w, err)
 		return
 	}
 	cfg = cfg.WithDefaults()
@@ -108,7 +108,10 @@ func (s *Server) handleSurrogateSubmit(w http.ResponseWriter, r *http.Request) {
 		return rec, nil
 	})
 	switch {
-	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeRetryError(w, http.StatusTooManyRequests, s.drainEstimate(s.queue.Depth()), err)
+		return
+	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -222,9 +225,19 @@ func (s *Server) fallbackK(w http.ResponseWriter, rec *surrogate.Record, f float
 		writeJSON(w, http.StatusOK, kPayload{Key: rec.Key, FreqHz: f, KSWM: pt.KSWM, Source: "exact-cache"})
 		return
 	}
-	job, err := s.queue.Submit(s.runSweep(sweep))
+	// The cache read above is the fast path an open breaker preserves;
+	// only the exact-solve enqueue below sits behind the gate. Cost 1
+	// keeps single-point fallbacks admitted under queue pressure.
+	if retry, err := s.admit(1); err != nil {
+		writeRetryError(w, http.StatusTooManyRequests, retry, err)
+		return
+	}
+	job, err := s.submitSweep(sweep)
 	switch {
-	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeRetryError(w, http.StatusTooManyRequests, s.drainEstimate(s.queue.Depth()), err)
+		return
+	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:

@@ -1,0 +1,148 @@
+package sweepengine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"roughsim/internal/telemetry"
+	"roughsim/internal/units"
+)
+
+// mapCheckpoint is an in-memory Checkpoint for engine tests.
+type mapCheckpoint struct {
+	mu    sync.Mutex
+	cols  map[int][]float64
+	saves int
+	loads int
+}
+
+func newMapCheckpoint() *mapCheckpoint {
+	return &mapCheckpoint{cols: map[int][]float64{}}
+}
+
+func (m *mapCheckpoint) Load(node int) ([]float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.loads++
+	col, ok := m.cols[node]
+	return col, ok
+}
+
+func (m *mapCheckpoint) Save(node int, col []float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.saves++
+	m.cols[node] = append([]float64(nil), col...)
+}
+
+// TestExactSweepCheckpointResume: a second run over a populated
+// checkpoint must not solve anything (node_solves == 0) and must
+// reproduce the first run's values bit for bit; a partially populated
+// checkpoint re-solves exactly the missing nodes.
+func TestExactSweepCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	freqs := []float64{4 * units.GHz, 5 * units.GHz}
+
+	eng, _ := testEngine(t)
+	m1 := telemetry.NewRegistry()
+	eng.Metrics = m1
+	ckpt := newMapCheckpoint()
+	eng.Checkpoint = ckpt
+	res1, err := eng.Run(context.Background(), freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.AnchorsUsed != 0 {
+		t.Fatalf("short sweep used %d anchors, want exact path", res1.AnchorsUsed)
+	}
+	nonFlat := len(ckpt.cols)
+	if nonFlat == 0 {
+		t.Fatal("first run checkpointed nothing")
+	}
+	if got := m1.Counter("sweep.node_solves").Value(); got != int64(nonFlat) {
+		t.Fatalf("node_solves = %d, want %d", got, nonFlat)
+	}
+	if got := m1.Counter("sweep.checkpoint_saves").Value(); got != int64(nonFlat) {
+		t.Fatalf("checkpoint_saves = %d, want %d", got, nonFlat)
+	}
+
+	// Full resume: zero solves, bitwise-identical output.
+	eng2, _ := testEngine(t)
+	m2 := telemetry.NewRegistry()
+	eng2.Metrics = m2
+	eng2.Checkpoint = ckpt
+	res2, err := eng2.Run(context.Background(), freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Counter("sweep.node_solves").Value(); got != 0 {
+		t.Fatalf("resume solved %d nodes, want 0", got)
+	}
+	if got := m2.Counter("sweep.checkpoint_hits").Value(); got != int64(nonFlat) {
+		t.Fatalf("checkpoint_hits = %d, want %d", got, nonFlat)
+	}
+	for fi := range freqs {
+		if res2.Mean[fi] != res1.Mean[fi] {
+			t.Fatalf("f[%d]: resumed mean %v != original %v", fi, res2.Mean[fi], res1.Mean[fi])
+		}
+		for j := range res1.Values[fi] {
+			if res2.Values[fi][j] != res1.Values[fi][j] {
+				t.Fatalf("vals[%d][%d]: %v != %v", fi, j, res2.Values[fi][j], res1.Values[fi][j])
+			}
+		}
+	}
+
+	// Partial resume: drop one column, exactly one node re-solves.
+	var victim int
+	for node := range ckpt.cols {
+		victim = node
+		break
+	}
+	delete(ckpt.cols, victim)
+	eng3, _ := testEngine(t)
+	m3 := telemetry.NewRegistry()
+	eng3.Metrics = m3
+	eng3.Checkpoint = ckpt
+	res3, err := eng3.Run(context.Background(), freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m3.Counter("sweep.node_solves").Value(); got != 1 {
+		t.Fatalf("partial resume solved %d nodes, want 1", got)
+	}
+	for fi := range freqs {
+		if res3.Mean[fi] != res1.Mean[fi] {
+			t.Fatalf("partial resume f[%d]: %v != %v", fi, res3.Mean[fi], res1.Mean[fi])
+		}
+	}
+}
+
+// TestCheckpointWrongShapeIgnored: a column whose length does not match
+// the sweep's frequency count must be ignored, not served.
+func TestCheckpointWrongShapeIgnored(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	freqs := []float64{4 * units.GHz, 5 * units.GHz}
+	ckpt := newMapCheckpoint()
+	eng, _ := testEngine(t)
+	m := telemetry.NewRegistry()
+	eng.Metrics = m
+	eng.Checkpoint = ckpt
+	// Poison every plausible node with a wrong-length column.
+	for j := -1; j < 16; j++ {
+		ckpt.cols[j] = []float64{1, 2, 3}
+	}
+	if _, err := eng.Run(context.Background(), freqs); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("sweep.checkpoint_hits").Value(); got != 0 {
+		t.Fatalf("wrong-shape columns produced %d hits", got)
+	}
+	if got := m.Counter("sweep.node_solves").Value(); got == 0 {
+		t.Fatal("nothing was solved despite unusable checkpoints")
+	}
+}

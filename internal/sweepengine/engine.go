@@ -84,6 +84,12 @@ type Engine struct {
 	MaxAnchors int
 	// Metrics receives sweep.* engine telemetry; nil disables it.
 	Metrics *telemetry.Registry
+	// Checkpoint, when non-nil, persists each completed collocation-node
+	// column K(·, ξ_j) — and, on the interpolated path, the
+	// flat-reference power vector under FlatRefNode — as the sweep
+	// progresses, and is consulted before solving so a resumed sweep
+	// re-solves only the nodes that never completed (see checkpoint.go).
+	Checkpoint Checkpoint
 	// Progress, when non-nil, receives monotone (done, total) updates in
 	// frequency units as the sweep advances.
 	Progress func(done, total int)
@@ -235,41 +241,75 @@ func (e *Engine) anchorCount(fmin, fmax float64) int {
 // exactSweep evaluates every (frequency, node) unit through the
 // unmodified assemble-and-solve path — bitwise identical to the
 // point-at-a-time baseline — scheduling the independent units across
-// the worker budget. Returns vals[freq][node].
+// the worker budget. Returns vals[freq][node]. Flat nodes cost nothing
+// (K ≡ 1), checkpointed nodes load their completed column instead of
+// solving, and each remaining node's column is checkpointed the moment
+// its last frequency lands (the per-node atomic countdown orders every
+// worker's column writes before the save).
 func (e *Engine) exactSweep(ctx context.Context, freqs []float64, surfs []*surface.Surface, flat []bool) ([][]float64, error) {
 	nn := len(surfs)
 	vals := make([][]float64, len(freqs))
 	for fi := range vals {
 		vals[fi] = make([]float64, nn)
 	}
-	units := len(freqs) * nn
+	remaining := make([]atomic.Int64, nn)
+	type unit struct{ fi, j int }
+	var todo []unit
+	for j := 0; j < nn; j++ {
+		if flat[j] {
+			for fi := range freqs {
+				vals[fi][j] = 1
+			}
+			continue
+		}
+		if col, ok := e.loadColumn(j, len(freqs)); ok {
+			for fi := range freqs {
+				vals[fi][j] = col[fi]
+			}
+			continue
+		}
+		remaining[j].Store(int64(len(freqs)))
+		for fi := range freqs {
+			todo = append(todo, unit{fi, j})
+		}
+	}
+	if len(todo) == 0 {
+		return vals, nil
+	}
 	w := e.workers()
 	inner := 1
-	if units < w {
-		inner = w / units
+	if len(todo) < w {
+		inner = w / len(todo)
 	}
 	var done atomic.Int64
-	err := forEach(ctx, units, w, func(ctx context.Context, u int) error {
-		fi, j := u/nn, u%nn
-		if flat[j] {
-			vals[fi][j] = 1
-		} else {
-			f := freqs[fi]
-			ref, err := e.Solver.FlatPabsCtx(ctx, f)
-			if err != nil {
-				return err
-			}
-			sys, err := e.Solver.AssembleSurfaceCtx(ctx, surfs[j], f, inner)
-			if err != nil {
-				return err
-			}
-			sol, err := e.Solver.SolveSystem(ctx, sys)
-			if err != nil {
-				return err
-			}
-			vals[fi][j] = sol.Pabs / ref
+	err := forEach(ctx, len(todo), w, func(ctx context.Context, u int) error {
+		fi, j := todo[u].fi, todo[u].j
+		f := freqs[fi]
+		ref, err := e.Solver.FlatPabsCtx(ctx, f)
+		if err != nil {
+			return err
 		}
-		e.progress(int(done.Add(1))*len(freqs)/units, len(freqs))
+		sys, err := e.Solver.AssembleSurfaceCtx(ctx, surfs[j], f, inner)
+		if err != nil {
+			return err
+		}
+		sol, err := e.Solver.SolveSystem(ctx, sys)
+		if err != nil {
+			return err
+		}
+		vals[fi][j] = sol.Pabs / ref
+		if remaining[j].Add(-1) == 0 {
+			// This worker observed every other worker's decrement for node
+			// j, so (atomics being sequentially consistent) all of the
+			// column's writes are visible here.
+			e.Metrics.Counter("sweep.node_solves").Inc()
+			col := make([]float64, len(freqs))
+			for k := range freqs {
+				col[k] = vals[k][j]
+			}
+			e.saveColumn(j, col)
+		}
+		e.progress(int(done.Add(1))*len(freqs)/len(todo), len(freqs))
 		return nil
 	})
 	return vals, err
@@ -282,11 +322,16 @@ func (e *Engine) exactSweep(ctx context.Context, freqs []float64, surfs []*surfa
 // kernel interpolation error cancels in the ratio.
 func (e *Engine) interpSweep(ctx context.Context, freqs []float64, fmin, fmax float64, anchors int, surfs []*surface.Surface, flat []bool) ([][]float64, error) {
 	xs := ChebAnchors(anchors, math.Sqrt(fmin), math.Sqrt(fmax))
-	e.Metrics.Counter("sweep.anchor_builds").Add(int64(anchors))
 
-	ps, err := e.sweepPabs(ctx, surface.NewFlat(e.Solver.L, e.Solver.M), xs, freqs)
-	if err != nil {
-		return nil, err
+	ps, ok := e.loadColumn(FlatRefNode, len(freqs))
+	if !ok {
+		e.Metrics.Counter("sweep.anchor_builds").Add(int64(anchors))
+		var err error
+		ps, err = e.sweepPabs(ctx, surface.NewFlat(e.Solver.L, e.Solver.M), xs, freqs)
+		if err != nil {
+			return nil, err
+		}
+		e.saveColumn(FlatRefNode, ps)
 	}
 	vals := make([][]float64, len(freqs))
 	for fi := range vals {
@@ -309,13 +354,25 @@ func (e *Engine) interpSweep(ctx context.Context, freqs []float64, fmin, fmax fl
 			}
 			continue
 		}
+		if col, ok := e.loadColumn(j, len(freqs)); ok {
+			for fi := range freqs {
+				vals[fi][j] = col[fi]
+			}
+			done++
+			e.progress(done*len(freqs)/chunks, len(freqs))
+			continue
+		}
 		pr, err := e.sweepPabs(ctx, surf, xs, freqs)
 		if err != nil {
 			return nil, err
 		}
+		e.Metrics.Counter("sweep.node_solves").Inc()
+		col := make([]float64, len(freqs))
 		for fi := range freqs {
 			vals[fi][j] = pr[fi] / ps[fi]
+			col[fi] = vals[fi][j]
 		}
+		e.saveColumn(j, col)
 		done++
 		e.progress(done*len(freqs)/chunks, len(freqs))
 	}

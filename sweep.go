@@ -133,6 +133,27 @@ func (c SweepConfig) Key() rescache.Key {
 	return e.Sum()
 }
 
+// ckptTag domain-separates checkpoint keys from whole-sweep keys: a
+// node-column checkpoint must never be confused with a finished sweep
+// result, even for hypothetical colliding encodings.
+const ckptTag = 0x636b7074 // "ckpt"
+
+// CheckpointKey returns the content address of one per-node checkpoint
+// column of this sweep: the whole-sweep encoding (config + full
+// frequency list) plus the collocation node index. Pass
+// sweepengine.FlatRefNode for the interpolated path's flat-reference
+// vector. Any change to the config or the frequency list changes every
+// checkpoint key, so a resumed sweep can only ever load checkpoints
+// from an identical request.
+func (c SweepConfig) CheckpointKey(node int) rescache.Key {
+	c = c.WithDefaults()
+	e := c.encodeBase()
+	e.Float64s(c.Freqs)
+	e.Uint64(ckptTag)
+	e.Int(node)
+	return e.Sum()
+}
+
 // encodeBase canonically encodes every frequency-independent,
 // result-determining field (see KeyAt).
 func (c SweepConfig) encodeBase() *rescache.Enc {

@@ -78,12 +78,24 @@ func (s *Simulation) CollocationValues(ctx context.Context, freqs []float64, ord
 // progress, when non-nil, receives monotone (done, total) updates in
 // frequency units.
 func (s *Simulation) SweepPoints(ctx context.Context, freqs []float64, progress func(done, total int)) ([]SweepPoint, error) {
+	return s.SweepPointsCheckpointed(ctx, freqs, progress, nil)
+}
+
+// SweepPointsCheckpointed is SweepPoints with durable per-node
+// checkpointing: ckpt (when non-nil) persists each completed
+// collocation-node column as the sweep progresses and is consulted
+// before solving, so a sweep resumed after a crash re-solves only the
+// nodes that never completed. The resumed result is bitwise identical
+// to an uninterrupted run (checkpoints hold the solver's own float64
+// outputs, round-tripped losslessly).
+func (s *Simulation) SweepPointsCheckpointed(ctx context.Context, freqs []float64, progress func(done, total int), ckpt sweepengine.Checkpoint) ([]SweepPoint, error) {
 	cfg := SweepConfig{Stack: s.stack, Spec: s.spec, Acc: s.acc, Freqs: freqs}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	eng := s.engine()
 	eng.Progress = progress
+	eng.Checkpoint = ckpt
 	res, err := eng.Run(ctx, freqs)
 	if err != nil {
 		return nil, err
