@@ -7,8 +7,9 @@
 //
 //	roughsim [-sigma 1.0] [-eta 1.0] [-cf gaussian|exp|measured]
 //	         [-eta2 0.53] [-fmin 1] [-fmax 9] [-steps 9] [-grid 16] [-dim 16]
-//	         [-timeout 0] [-json] [-trace]
+//	         [-timeout 0] [-json] [-csv out.csv] [-trace]
 //	         [-surrogate-out model.json] [-surrogate-in model.json]
+//	         [-campaign grid.json]
 //
 // Lengths are in micrometers, frequencies in GHz. The sweep honors
 // Ctrl-C and the -timeout budget: cancellation stops the run promptly
@@ -24,9 +25,18 @@
 // -surrogate-in loads such a model and serves the sweep from it with
 // no solver in the loop — the CLI twin of roughsimd's GET /k fast
 // path.
+//
+// -campaign runs a parameter campaign from a JSON grid file (the
+// roughsim.CampaignConfig schema roughsimd's POST /v1/campaigns
+// accepts): the grid expands into deduplicated cells that solve
+// in-process, and the combined artifact lands on stdout (JSON) or, with
+// -csv, as CSV with one row per (cell, frequency) carrying the
+// SPM2/HBM/empirical comparison columns. -csv also works for a single
+// sweep — both shapes share one encoder.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -38,6 +48,8 @@ import (
 	"time"
 
 	"roughsim"
+	"roughsim/internal/campaign"
+	"roughsim/internal/telemetry"
 	"roughsim/internal/trace"
 )
 
@@ -57,8 +69,18 @@ func main() {
 		showTr  = flag.Bool("trace", false, "print a per-stage timing breakdown to stderr after the sweep")
 		surOut  = flag.String("surrogate-out", "", "fit a K(f) surrogate over [fmin, fmax] and write the model to this file (no sweep)")
 		surIn   = flag.String("surrogate-in", "", "serve the sweep from a fitted surrogate model file (no solver)")
+		campIn  = flag.String("campaign", "", "run a parameter campaign from this JSON grid file (roughsim.CampaignConfig) instead of a single sweep")
+		csvOut  = flag.String("csv", "", "also write the result as CSV (one row per cell and frequency, with SPM2/HBM/empirical comparison columns) to this file; - for stdout")
 	)
 	flag.Parse()
+
+	ctxRoot, stopRoot := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopRoot()
+
+	if *campIn != "" {
+		runCampaign(ctxRoot, *campIn, *csvOut, *asJSON)
+		return
+	}
 
 	kind, err := roughsim.ParseCFKind(*cf)
 	if err != nil {
@@ -86,8 +108,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	ctx := ctxRoot
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -145,7 +166,10 @@ func main() {
 				KEmpirical: sim.EmpiricalLossFactor(f),
 			})
 		}
-		emit(res, *asJSON, *sigma, *eta, kind, *grid, *dim)
+		if *csvOut != "-" { // -csv - owns stdout
+			emit(res, *asJSON, *sigma, *eta, kind, *grid, *dim)
+		}
+		writeSweepCSV(res, *csvOut)
 		return
 	}
 
@@ -176,10 +200,90 @@ func main() {
 		}
 	}
 
-	emit(res, *asJSON, *sigma, *eta, kind, *grid, *dim)
+	if *csvOut != "-" { // -csv - owns stdout
+		emit(res, *asJSON, *sigma, *eta, kind, *grid, *dim)
+	}
+	writeSweepCSV(res, *csvOut)
 	if st := sim.SolveStats(); st.Fallbacks > 0 {
 		fmt.Fprintf(os.Stderr, "roughsim: %d of %d solves needed the fallback chain (wins: %v)\n",
 			st.Fallbacks, st.Solves, st.StageWins)
+	}
+}
+
+// runCampaign executes a parameter campaign from a JSON grid file:
+// cells expand, dedupe and solve in-process (one at a time, each solve
+// parallelized internally), then the combined artifact is written as
+// JSON (stdout) and, with -csv, as CSV.
+func runCampaign(ctx context.Context, path, csvPath string, asJSON bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roughsim:", err)
+		os.Exit(1)
+	}
+	var cfg roughsim.CampaignConfig
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "roughsim: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	eng := campaign.NewEngine(campaign.Options{
+		Runner:  campaign.LocalRunner{Ctx: ctx},
+		Metrics: telemetry.NewRegistry(),
+	})
+	c, _, err := eng.Start(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roughsim:", err)
+		os.Exit(1)
+	}
+	go func() {
+		<-ctx.Done()
+		c.Cancel()
+	}()
+	<-c.Done()
+	agg := c.Aggregate(false)
+	fmt.Fprintf(os.Stderr, "roughsim: campaign %s: %s (%d cells: %d done, %d failed; %d duplicates folded)\n",
+		c.ID[:12], agg.Status, agg.CellsTotal, agg.CellsDone, agg.CellsFailed, agg.DuplicatesFolded)
+	art := c.Artifact()
+	if csvPath != "" {
+		writeCSV(art, csvPath)
+	}
+	if csvPath == "" || asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(art); err != nil {
+			fmt.Fprintln(os.Stderr, "roughsim:", err)
+			os.Exit(1)
+		}
+	}
+	if agg.Status != campaign.StatusSucceeded {
+		os.Exit(1)
+	}
+}
+
+// writeSweepCSV exports a single sweep through the campaign CSV encoder
+// (one encoder for both shapes), when -csv was given.
+func writeSweepCSV(res *roughsim.SweepResult, csvPath string) {
+	if csvPath == "" {
+		return
+	}
+	writeCSV(campaign.FromSweep(res), csvPath)
+}
+
+func writeCSV(art *campaign.Artifact, path string) {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roughsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := art.WriteCSV(out); err != nil {
+		fmt.Fprintln(os.Stderr, "roughsim:", err)
+		os.Exit(1)
 	}
 }
 

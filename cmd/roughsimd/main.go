@@ -11,8 +11,17 @@
 //	roughsimd [-addr :8080] [-workers 2] [-queue 64] [-job-timeout 0]
 //	          [-cache-size 4096] [-cache-dir ""] [-drain-timeout 30s]
 //	          [-journal ""] [-max-attempts 3] [-chaos ""]
+//	          [-campaign-cells 1] [-max-campaign-cells 512]
 //	          [-surrogate-cap 64] [-surrogate-dir ""]
 //	          [-trace-buffer 128] [-pprof] [-log-level info]
+//
+// Parameter campaigns (POST /v1/campaigns) expand a grid over the
+// surface process into deduplicated sweep cells that run through the
+// same queue, capped at -campaign-cells concurrent cells per campaign
+// so batch studies cannot starve interactive sweeps. With -journal,
+// campaigns survive crashes: a restart resumes an unfinished campaign
+// under its original ID, re-solving only cells whose results are not
+// already in the cache.
 //
 // Broadband K(f) surrogates (POST /v1/surrogates, GET /k) are held in
 // a registry bounded by -surrogate-cap; -surrogate-dir persists
@@ -60,6 +69,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		journalPath  = flag.String("journal", "", "write-ahead job journal path; empty disables crash recovery")
 		maxAttempts  = flag.Int("max-attempts", 0, "attempts per job before permanent failure (default 3; 1 disables retries)")
+		campCells    = flag.Int("campaign-cells", 0, "sweep cells one campaign keeps in flight (default workers-1, floor 1)")
+		maxCampCells = flag.Int("max-campaign-cells", 0, "largest accepted campaign after grid expansion (default 512)")
 		chaosSpec    = flag.String("chaos", "", "fault injection op:n — crash at the n-th occurrence (testing only)")
 		surCap       = flag.Int("surrogate-cap", 0, "surrogate registry entries, memory tier (default 64)")
 		surDir       = flag.String("surrogate-dir", "", "surrogate registry directory (disk tier); empty disables")
@@ -88,20 +99,22 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		JobTimeout:    *jobTimeout,
-		CacheSize:     *cacheSize,
-		CacheDir:      *cacheDir,
-		JournalPath:   *journalPath,
-		MaxAttempts:   *maxAttempts,
-		Chaos:         chaos,
-		SurrogateCap:  *surCap,
-		SurrogateDir:  *surDir,
-		Metrics:       telemetry.NewRegistry(),
-		TraceCapacity: *traceBuffer,
-		EnablePprof:   *enablePprof,
-		Log:           log,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		JobTimeout:       *jobTimeout,
+		CacheSize:        *cacheSize,
+		CacheDir:         *cacheDir,
+		JournalPath:      *journalPath,
+		MaxAttempts:      *maxAttempts,
+		CampaignCells:    *campCells,
+		MaxCampaignCells: *maxCampCells,
+		Chaos:            chaos,
+		SurrogateCap:     *surCap,
+		SurrogateDir:     *surDir,
+		Metrics:          telemetry.NewRegistry(),
+		TraceCapacity:    *traceBuffer,
+		EnablePprof:      *enablePprof,
+		Log:              log,
 	})
 	if err != nil {
 		log.Error("startup failed", "err", err)

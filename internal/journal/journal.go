@@ -62,6 +62,23 @@ const (
 	// Jobs canceled by a shutdown drain are deliberately NOT journaled
 	// as canceled, so they stay pending and resume on restart.
 	OpCanceled Op = "canceled"
+
+	// OpCampaignSubmitted: a campaign was accepted; JobID carries the
+	// campaign's content-addressed ID and Config its CampaignConfig, so
+	// a replay restarts the study under the ID clients already hold.
+	OpCampaignSubmitted Op = "campaign-submitted"
+	// OpCampaignCellDone: one cell of a campaign reached a durable
+	// result (Anchor is the cell index, wire-offset like checkpoint
+	// anchors). Observability only: resume re-derives finished cells
+	// from the result cache, not from these records.
+	OpCampaignCellDone Op = "campaign-cell-done"
+	// OpCampaignCompleted / OpCampaignFailed / OpCampaignCanceled are
+	// the campaign terminal records; replay drops the campaign.
+	// Campaigns interrupted by a shutdown drain are deliberately NOT
+	// journaled as canceled, so they resume on restart.
+	OpCampaignCompleted Op = "campaign-completed"
+	OpCampaignFailed    Op = "campaign-failed"
+	OpCampaignCanceled  Op = "campaign-canceled"
 )
 
 // SchemaVersion tags every record; bump it when the meaning of a field
@@ -113,6 +130,28 @@ type Pending struct {
 	AnchorsDone int
 }
 
+// PendingCampaign is one unfinished campaign reconstructed by replay.
+type PendingCampaign struct {
+	// ID is the campaign's content-addressed identity (also the
+	// record's JobID on the wire).
+	ID  string
+	Key string
+	// Config is the submitted CampaignConfig, verbatim.
+	Config json.RawMessage
+	// CellsDone counts the cell-done records journaled before the crash
+	// — observability for "how much of the campaign survives" (resume
+	// re-derives finished cells from the result cache).
+	CellsDone int
+}
+
+// Replay is everything a journal replay surfaces: the jobs and the
+// campaigns still unfinished at the last crash or shutdown, each in
+// submission order.
+type Replay struct {
+	Jobs      []Pending
+	Campaigns []PendingCampaign
+}
+
 const (
 	frameHeader = 8        // uint32 length + uint32 crc
 	maxRecord   = 16 << 20 // sanity bound on one record; larger lengths read as torn tail
@@ -127,26 +166,28 @@ type Journal struct {
 	seq  uint64
 
 	appends, tornTails, schemaSkips *telemetry.Counter
-	pendingG                        *telemetry.Gauge
+	pendingG, pendingCampG          *telemetry.Gauge
 }
 
 // Open replays (and compacts) the journal at path, creating it when
-// absent, and returns the log opened for append plus the jobs still
-// pending at the last crash or shutdown, in submission order.
-func Open(path string, m *telemetry.Registry) (*Journal, []Pending, error) {
+// absent, and returns the log opened for append plus the jobs and
+// campaigns still pending at the last crash or shutdown, in submission
+// order.
+func Open(path string, m *telemetry.Registry) (*Journal, Replay, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, nil, fmt.Errorf("journal: mkdir: %w", err)
+		return nil, Replay{}, fmt.Errorf("journal: mkdir: %w", err)
 	}
 	j := &Journal{
-		path:        path,
-		appends:     m.Counter("journal.appends"),
-		tornTails:   m.Counter("journal.torn_tails"),
-		schemaSkips: m.Counter("journal.schema_skips"),
-		pendingG:    m.Gauge("journal.pending_jobs"),
+		path:         path,
+		appends:      m.Counter("journal.appends"),
+		tornTails:    m.Counter("journal.torn_tails"),
+		schemaSkips:  m.Counter("journal.schema_skips"),
+		pendingG:     m.Gauge("journal.pending_jobs"),
+		pendingCampG: m.Gauge("journal.pending_campaigns"),
 	}
 	recs, torn, err := readAll(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, Replay{}, err
 	}
 	if torn {
 		j.tornTails.Inc()
@@ -159,18 +200,19 @@ func Open(path string, m *telemetry.Registry) (*Journal, []Pending, error) {
 		}
 		kept = append(kept, r)
 	}
-	pending := Fold(kept)
-	if err := j.compact(pending); err != nil {
-		return nil, nil, err
+	rep := Replay{Jobs: Fold(kept), Campaigns: FoldCampaigns(kept)}
+	if err := j.compact(rep); err != nil {
+		return nil, Replay{}, err
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("journal: open for append: %w", err)
+		return nil, Replay{}, fmt.Errorf("journal: open for append: %w", err)
 	}
 	j.f = f
-	j.seq = uint64(len(pending))
-	j.pendingG.Set(float64(len(pending)))
-	return j, pending, nil
+	j.seq = uint64(len(rep.Jobs) + len(rep.Campaigns))
+	j.pendingG.Set(float64(len(rep.Jobs)))
+	j.pendingCampG.Set(float64(len(rep.Campaigns)))
+	return j, rep, nil
 }
 
 // Path returns the journal's file path.
@@ -217,18 +259,22 @@ func (j *Journal) Close() error {
 }
 
 // compact atomically rewrites the journal to one submitted record per
-// pending job (temp file + fsync + rename + directory fsync), bounding
-// the file to the live work set.
-func (j *Journal) compact(pending []Pending) error {
+// pending job and campaign (temp file + fsync + rename + directory
+// fsync), bounding the file to the live work set. Cell-done records
+// are dropped: resume re-derives finished cells from the result cache.
+func (j *Journal) compact(rep Replay) error {
 	tmp, err := os.CreateTemp(filepath.Dir(j.path), "journal-*")
 	if err != nil {
 		return fmt.Errorf("journal: compact: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	now := time.Now().UnixNano()
-	for i, p := range pending {
+	seq := uint64(0)
+	var frames [][]byte
+	for _, p := range rep.Jobs {
+		seq++
 		frame, err := encodeFrame(Record{
-			Schema: SchemaVersion, Seq: uint64(i + 1), Unix: now,
+			Schema: SchemaVersion, Seq: seq, Unix: now,
 			Op: OpSubmitted, JobID: p.JobID, Key: p.Key,
 			Attempt: p.Attempts, Config: p.Config,
 		})
@@ -236,6 +282,21 @@ func (j *Journal) compact(pending []Pending) error {
 			tmp.Close()
 			return err
 		}
+		frames = append(frames, frame)
+	}
+	for _, c := range rep.Campaigns {
+		seq++
+		frame, err := encodeFrame(Record{
+			Schema: SchemaVersion, Seq: seq, Unix: now,
+			Op: OpCampaignSubmitted, JobID: c.ID, Key: c.Key, Config: c.Config,
+		})
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		frames = append(frames, frame)
+	}
+	for _, frame := range frames {
 		if _, err := tmp.Write(frame); err != nil {
 			tmp.Close()
 			return fmt.Errorf("journal: compact: %w", err)
@@ -351,6 +412,38 @@ func Fold(recs []Record) []Pending {
 	for _, id := range order {
 		if p, ok := byID[id]; ok {
 			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// FoldCampaigns reduces a record sequence to the campaigns still
+// pending at its end: campaign-submitted creates one, campaign-cell-
+// done counts a durable cell, and every campaign terminal op removes
+// it. Order of first submission is preserved.
+func FoldCampaigns(recs []Record) []PendingCampaign {
+	byID := map[string]*PendingCampaign{}
+	var order []string
+	for _, r := range recs {
+		switch r.Op {
+		case OpCampaignSubmitted:
+			if _, ok := byID[r.JobID]; ok {
+				continue
+			}
+			byID[r.JobID] = &PendingCampaign{ID: r.JobID, Key: r.Key, Config: r.Config}
+			order = append(order, r.JobID)
+		case OpCampaignCellDone:
+			if c, ok := byID[r.JobID]; ok {
+				c.CellsDone++
+			}
+		case OpCampaignCompleted, OpCampaignFailed, OpCampaignCanceled:
+			delete(byID, r.JobID)
+		}
+	}
+	out := make([]PendingCampaign, 0, len(byID))
+	for _, id := range order {
+		if c, ok := byID[id]; ok {
+			out = append(out, *c)
 		}
 	}
 	return out

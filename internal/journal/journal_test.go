@@ -11,12 +11,12 @@ import (
 
 func openT(t *testing.T, path string) (*Journal, []Pending) {
 	t.Helper()
-	j, pending, err := Open(path, telemetry.NewRegistry())
+	j, rep, err := Open(path, telemetry.NewRegistry())
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { j.Close() })
-	return j, pending
+	return j, rep.Jobs
 }
 
 func TestAppendReplayRoundTrip(t *testing.T) {
@@ -108,13 +108,13 @@ func TestTornTailTolerated(t *testing.T) {
 				t.Fatal(err)
 			}
 			m := telemetry.NewRegistry()
-			jr, pending, err := Open(torn, m)
+			jr, rep, err := Open(torn, m)
 			if err != nil {
 				t.Fatalf("torn journal failed to open: %v", err)
 			}
 			defer jr.Close()
-			if len(pending) != 2 {
-				t.Fatalf("pending = %d, want the 2 intact records", len(pending))
+			if len(rep.Jobs) != 2 {
+				t.Fatalf("pending = %d, want the 2 intact records", len(rep.Jobs))
 			}
 			if n := m.Counter("journal.torn_tails").Value(); n != 1 {
 				t.Fatalf("torn_tails = %d, want 1", n)
@@ -122,13 +122,13 @@ func TestTornTailTolerated(t *testing.T) {
 			// The rewrite (compaction) must have healed the file: a second
 			// open sees no tear.
 			m2 := telemetry.NewRegistry()
-			jr2, pending2, err := Open(torn, m2)
+			jr2, rep2, err := Open(torn, m2)
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer jr2.Close()
-			if len(pending2) != 2 || m2.Counter("journal.torn_tails").Value() != 0 {
-				t.Fatalf("reopen after heal: %d pending, torn=%d", len(pending2),
+			if len(rep2.Jobs) != 2 || m2.Counter("journal.torn_tails").Value() != 0 {
+				t.Fatalf("reopen after heal: %d pending, torn=%d", len(rep2.Jobs),
 					m2.Counter("journal.torn_tails").Value())
 			}
 		})
@@ -185,13 +185,13 @@ func TestUnknownSchemaSkipped(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := telemetry.NewRegistry()
-	jr, pending, err := Open(path, m)
+	jr, rep, err := Open(path, m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer jr.Close()
-	if len(pending) != 0 {
-		t.Fatalf("future-schema record replayed: %+v", pending)
+	if len(rep.Jobs) != 0 {
+		t.Fatalf("future-schema record replayed: %+v", rep.Jobs)
 	}
 	if m.Counter("journal.schema_skips").Value() != 1 {
 		t.Fatal("schema skip not counted")
@@ -219,6 +219,88 @@ func TestFoldSemantics(t *testing.T) {
 	}
 	if pending[1].JobID != "dup" || pending[1].Key != "k1" {
 		t.Fatalf("dup folded as %+v", pending[1])
+	}
+}
+
+func TestFoldCampaignsSemantics(t *testing.T) {
+	cfg := json.RawMessage(`{"band":{"fmin_hz":1e9,"fmax_hz":2e9}}`)
+	recs := []Record{
+		{Op: OpCampaignSubmitted, JobID: "camp-a", Key: "camp-a", Config: cfg},
+		Record{Op: OpCampaignCellDone, JobID: "camp-a"}.WithAnchor(0),
+		Record{Op: OpCampaignCellDone, JobID: "camp-a"}.WithAnchor(2),
+		{Op: OpCampaignSubmitted, JobID: "camp-a", Key: "other"}, // duplicate submit ignored
+		{Op: OpCampaignSubmitted, JobID: "camp-done", Key: "camp-done"},
+		{Op: OpCampaignCompleted, JobID: "camp-done"},
+		{Op: OpCampaignSubmitted, JobID: "camp-x", Key: "camp-x"},
+		{Op: OpCampaignCanceled, JobID: "camp-x"},
+		{Op: OpCampaignCellDone, JobID: "ghost"}, // cell-done without submitted: ignored
+	}
+	camps := FoldCampaigns(recs)
+	if len(camps) != 1 {
+		t.Fatalf("pending campaigns = %+v, want only camp-a", camps)
+	}
+	c := camps[0]
+	if c.ID != "camp-a" || c.Key != "camp-a" || c.CellsDone != 2 || string(c.Config) != string(cfg) {
+		t.Fatalf("camp-a folded as %+v", c)
+	}
+	// Job folding must not see campaign records as jobs.
+	if jobs := Fold(recs); len(jobs) != 0 {
+		t.Fatalf("campaign records folded into jobs: %+v", jobs)
+	}
+}
+
+// A pending campaign must survive compaction (reopen) verbatim, and its
+// terminal record must drop it.
+func TestCampaignCompactionRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openT(t, path)
+	cfg := json.RawMessage(`{"cells":[{"cf":"gaussian","sigma":4e-7,"eta":1e-6}],"freqs_hz":[1e9]}`)
+	appends := []Record{
+		{Op: OpCampaignSubmitted, JobID: "camp-1", Key: "camp-1", Config: cfg},
+		Record{Op: OpCampaignCellDone, JobID: "camp-1"}.WithAnchor(0),
+		{Op: OpSubmitted, JobID: "job-1", Key: "kj"},
+	}
+	for _, r := range appends {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	m := telemetry.NewRegistry()
+	j2, rep, err := Open(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 1 || rep.Jobs[0].JobID != "job-1" {
+		t.Fatalf("jobs = %+v", rep.Jobs)
+	}
+	if len(rep.Campaigns) != 1 {
+		t.Fatalf("campaigns = %+v", rep.Campaigns)
+	}
+	c := rep.Campaigns[0]
+	if c.ID != "camp-1" || string(c.Config) != string(cfg) {
+		t.Fatalf("campaign replayed as %+v", c)
+	}
+	// Compaction drops cell-done records (CellsDone is re-derived from
+	// the result cache on resume, not from the journal).
+	if g := m.Gauge("journal.pending_campaigns").Value(); g != 1 {
+		t.Fatalf("pending_campaigns gauge = %g, want 1", g)
+	}
+	if err := j2.Append(Record{Op: OpCampaignCompleted, JobID: "camp-1"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	_, rep2, err := Open(path, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Campaigns) != 0 {
+		t.Fatalf("completed campaign still pending: %+v", rep2.Campaigns)
+	}
+	if len(rep2.Jobs) != 1 {
+		t.Fatalf("job lost across campaign compaction: %+v", rep2.Jobs)
 	}
 }
 

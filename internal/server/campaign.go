@@ -1,0 +1,421 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"roughsim"
+	"roughsim/internal/campaign"
+	"roughsim/internal/jobs"
+	"roughsim/internal/journal"
+)
+
+// This file wires the campaign engine into the HTTP tier: cells fan out
+// through the same bounded queue as interactive sweeps (under the
+// campaign's own concurrency cap), durability rides on one campaign
+// journal record plus the content-addressed result cache, and the
+// combined artifact is served as JSON or CSV.
+
+// cellRunner adapts the server's queue + result cache to
+// campaign.Runner.
+type cellRunner struct{ s *Server }
+
+func (r cellRunner) Submit(cfg roughsim.SweepConfig) (campaign.Handle, error) {
+	id := jobs.NewID()
+	// Cell jobs skip the per-job journal protocol: the campaign record
+	// already covers them, and their results are durable in the cache.
+	r.s.markUnjournaled(id)
+	job, err := r.s.queue.SubmitOpts(r.s.runSweep(cfg), r.s.submitOptions(id, 0))
+	if err != nil {
+		r.s.clearUnjournaled(id)
+		if errors.Is(err, jobs.ErrQueueFull) {
+			// Backpressure, not failure: the engine parks and retries.
+			return nil, fmt.Errorf("%w: %v", campaign.ErrBusy, err)
+		}
+		return nil, err
+	}
+	return cellHandle{job: job, q: r.s.queue}, nil
+}
+
+// Cached reports a complete sweep already in the result cache — how a
+// resumed campaign skips every cell that finished before the crash.
+func (r cellRunner) Cached(cfg roughsim.SweepConfig) (*roughsim.SweepResult, bool) {
+	pts := make([]roughsim.SweepPoint, len(cfg.Freqs))
+	for i, f := range cfg.Freqs {
+		v, ok := r.s.cache.Get(cfg.KeyAt(f))
+		if !ok {
+			return nil, false
+		}
+		pts[i] = v.(roughsim.SweepPoint)
+	}
+	return &roughsim.SweepResult{Config: cfg, Points: pts}, true
+}
+
+// cellHandle exposes one queued cell job to the engine.
+type cellHandle struct {
+	job *jobs.Job
+	q   *jobs.Queue
+}
+
+func (h cellHandle) ID() string            { return h.job.ID }
+func (h cellHandle) Done() <-chan struct{} { return h.job.Done() }
+func (h cellHandle) Cancel()               { h.q.Cancel(h.job.ID) }
+
+func (h cellHandle) Result() (*roughsim.SweepResult, error) {
+	v, err := h.job.Result()
+	if err != nil {
+		return nil, err
+	}
+	res, ok := v.(*roughsim.SweepResult)
+	if !ok {
+		return nil, fmt.Errorf("server: cell job %s returned %T, not a sweep result", h.job.ID, v)
+	}
+	return res, nil
+}
+
+func (s *Server) markUnjournaled(id string) {
+	s.unjMu.Lock()
+	s.unjournaled[id] = struct{}{}
+	s.unjMu.Unlock()
+}
+
+func (s *Server) isUnjournaled(id string) bool {
+	s.unjMu.Lock()
+	_, ok := s.unjournaled[id]
+	s.unjMu.Unlock()
+	return ok
+}
+
+// clearUnjournaled removes the mark, reporting whether it was set.
+func (s *Server) clearUnjournaled(id string) bool {
+	s.unjMu.Lock()
+	_, ok := s.unjournaled[id]
+	delete(s.unjournaled, id)
+	s.unjMu.Unlock()
+	return ok
+}
+
+// campaignCellDone journals one finished cell. The chaos point sits
+// BEFORE the append and after the cell's points are durable in the
+// result cache — "crash at the n-th campaign cell" then leaves a
+// journal that under-counts done cells, the state resume must tolerate
+// (the cache probe, not the journal, decides what re-runs).
+func (s *Server) campaignCellDone(id string, cell int) {
+	n := s.campCellSeq.Add(1)
+	s.chaos.Crash("campaign.cell", n)
+	if s.journal == nil {
+		return
+	}
+	s.journal.Append(journal.Record{
+		Op: journal.OpCampaignCellDone, JobID: id,
+	}.WithAnchor(cell))
+}
+
+// campaignTerminal closes the campaign out in the journal. Cancellation
+// caused by the shutdown drain is deliberately NOT journaled — exactly
+// like job terminals — so a restart resumes the campaign.
+func (s *Server) campaignTerminal(id string, st campaign.Status, cerr error) {
+	if st == campaign.StatusCanceled && s.queue.Draining() {
+		return
+	}
+	if s.journal == nil {
+		return
+	}
+	rec := journal.Record{JobID: id}
+	switch st {
+	case campaign.StatusSucceeded:
+		rec.Op = journal.OpCampaignCompleted
+	case campaign.StatusFailed:
+		rec.Op = journal.OpCampaignFailed
+	default:
+		rec.Op = journal.OpCampaignCanceled
+	}
+	if cerr != nil {
+		rec.Error = cerr.Error()
+	}
+	s.journal.Append(rec)
+}
+
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	var cfg roughsim.CampaignConfig
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	cfg = cfg.WithDefaults()
+	cells, err := cfg.ExpandCells()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(cells) > s.cfg.MaxCampaignCells {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"campaign expands to %d cells; the service limit is %d", len(cells), s.cfg.MaxCampaignCells))
+		return
+	}
+	for i, c := range cells {
+		if err := s.validate(c); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("cell %d: %w", i, err))
+			return
+		}
+	}
+	// A campaign is hours of batch work riding on the journal and the
+	// cache's disk tier: refuse to accept one onto a wedged disk.
+	if h := s.readiness(); !h.Ready {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("service not ready: %s", h.unready()))
+		return
+	}
+	if wait, ok := s.brk.Allow(); !ok {
+		writeRetryError(w, http.StatusTooManyRequests, wait,
+			fmt.Errorf("circuit breaker open: exact-solve tier is failing; retry after cooldown"))
+		return
+	}
+	id, err := cfg.ID()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Idempotent by content address: re-POSTing the same study returns
+	// the existing campaign (200) instead of relaunching it.
+	if c, ok := s.camps.Get(id); ok {
+		writeJSON(w, http.StatusOK, c.Aggregate(false))
+		return
+	}
+	if s.journal != nil {
+		raw, err := json.Marshal(cfg)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("encode campaign for journal: %w", err))
+			return
+		}
+		// Journal-before-start: an acknowledged campaign always survives
+		// a crash.
+		if err := s.journal.Append(journal.Record{
+			Op: journal.OpCampaignSubmitted, JobID: id, Key: id, Config: raw,
+		}); err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("journal campaign: %w", err))
+			return
+		}
+	}
+	c, created, err := s.camps.Start(cfg)
+	if err != nil {
+		s.campaignTerminal(id, campaign.StatusFailed, err)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusAccepted
+	if !created {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, c.Aggregate(false))
+}
+
+func (s *Server) campaignByID(w http.ResponseWriter, r *http.Request) (*campaign.Campaign, bool) {
+	c, ok := s.camps.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such campaign %q", r.PathValue("id")))
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *Server) handleCampaignList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.camps.List())
+}
+
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	if c, ok := s.campaignByID(w, r); ok {
+		writeJSON(w, http.StatusOK, c.Aggregate(true))
+	}
+}
+
+// handleCampaignDelete cancels a running campaign; deleting a terminal
+// one forgets it (its cell results stay cached).
+func (s *Server) handleCampaignDelete(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaignByID(w, r)
+	if !ok {
+		return
+	}
+	if agg := c.Aggregate(false); agg.Status.Terminal() {
+		if err := s.camps.Remove(c.ID); err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, agg)
+		return
+	}
+	c.Cancel()
+	writeJSON(w, http.StatusOK, c.Aggregate(false))
+}
+
+// handleCampaignEvents streams SSE aggregate progress: one "progress"
+// event per observed change, then a final "done" event carrying the
+// per-cell detail. Same event discipline as the sweep /stream handler.
+func (s *Server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaignByID(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	rc := http.NewResponseController(w)
+	defer rc.SetWriteDeadline(time.Time{})
+	emit := func(event string, v any) error {
+		b, _ := json.Marshal(v)
+		rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	}
+	var last campaign.Aggregate
+	first := true
+	for {
+		ch := c.Changed()
+		agg := c.Aggregate(false)
+		if first || campaignProgressed(last, agg) {
+			if err := emit("progress", agg); err != nil {
+				s.streamClosed(c.ID, err)
+				return
+			}
+			last, first = agg, false
+			continue
+		}
+		if agg.Status.Terminal() {
+			if err := emit("done", c.Aggregate(true)); err != nil {
+				s.streamClosed(c.ID, err)
+			}
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func campaignProgressed(a, b campaign.Aggregate) bool {
+	return a.Status != b.Status ||
+		a.CellsDone != b.CellsDone || a.CellsRunning != b.CellsRunning ||
+		a.CellsFailed != b.CellsFailed || a.CellsCached != b.CellsCached ||
+		a.CellsCanceled != b.CellsCanceled
+}
+
+// handleCampaignResult serves the combined artifact with content
+// negotiation: JSON by default, CSV via ?format=csv or Accept:
+// text/csv.
+func (s *Server) handleCampaignResult(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaignByID(w, r)
+	if !ok {
+		return
+	}
+	agg := c.Aggregate(false)
+	if !agg.Status.Terminal() {
+		writeError(w, http.StatusConflict, fmt.Errorf("campaign %s is %s; result not ready", c.ID, agg.Status))
+		return
+	}
+	art := c.Artifact()
+	if r.URL.Query().Get("format") == "csv" || strings.Contains(r.Header.Get("Accept"), "text/csv") {
+		w.Header().Set("Content-Type", "text/csv")
+		w.WriteHeader(http.StatusOK)
+		if err := art.WriteCSV(w); err != nil {
+			s.log.Warn("campaign csv write failed", "campaign", c.ID, "err", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, art)
+}
+
+// healthFacet is one readiness probe result.
+type healthFacet struct {
+	Name  string `json:"name"`
+	Path  string `json:"path"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// healthPayload is the /healthz body: liveness (it answered) plus
+// readiness facets over the durable directories.
+type healthPayload struct {
+	Status string        `json:"status"` // "ok" | "degraded"
+	Ready  bool          `json:"ready"`
+	Facets []healthFacet `json:"facets,omitempty"`
+}
+
+func (h healthPayload) unready() string {
+	var parts []string
+	for _, f := range h.Facets {
+		if !f.OK {
+			parts = append(parts, fmt.Sprintf("%s (%s): %s", f.Name, f.Path, f.Error))
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// readiness probes the journal and cache directories for writability —
+// the two places a campaign's durability lives. Facets only exist for
+// configured tiers: a memory-only server is always ready.
+func (s *Server) readiness() healthPayload {
+	h := healthPayload{Status: "ok", Ready: true}
+	probe := func(name, dir string) {
+		f := healthFacet{Name: name, Path: dir, OK: true}
+		if err := probeDir(dir); err != nil {
+			f.OK = false
+			f.Error = err.Error()
+			h.Ready = false
+			h.Status = "degraded"
+		}
+		h.Facets = append(h.Facets, f)
+	}
+	if s.cfg.JournalPath != "" {
+		probe("journal", filepath.Dir(s.cfg.JournalPath))
+	}
+	if s.cfg.CacheDir != "" {
+		probe("cache", s.cfg.CacheDir)
+	}
+	return h
+}
+
+// probeDir verifies dir is (creatable and) writable by round-tripping a
+// temp file — an actual write, not a permission-bit guess, so it also
+// catches full and read-only filesystems.
+func probeDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".healthz-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	if err := f.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Remove(name)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.readiness()
+	status := http.StatusOK
+	if !h.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}

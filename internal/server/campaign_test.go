@@ -1,0 +1,549 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"roughsim"
+	"roughsim/internal/campaign"
+	"roughsim/internal/jobs"
+)
+
+// chaosCampaign is the acceptance workload: a 3×3 σ×η grid (the σ=0 row
+// is three flat reference cells) over a 4-point band, plus two explicit
+// cells that duplicate grid cells — 11 requested, 9 planned.
+func chaosCampaign() roughsim.CampaignConfig {
+	return roughsim.CampaignConfig{
+		Acc: roughsim.Accuracy{GridPerSide: 8, StochasticDim: 2},
+		Grid: roughsim.CampaignGrid{
+			Sigmas: roughsim.Axis{Values: []float64{0, 0.2e-6, 0.4e-6}},
+			Etas:   roughsim.Axis{Values: []float64{1e-6, 1.5e-6, 2e-6}},
+		},
+		Cells: []roughsim.SurfaceSpec{
+			{Corr: roughsim.GaussianCF, Sigma: 0.4e-6, Eta: 1e-6},
+			{Corr: roughsim.GaussianCF, Sigma: 0.2e-6, Eta: 2e-6},
+		},
+		Band: &roughsim.BandSpec{FMinHz: 1e9, FMaxHz: 9e9, Points: 4},
+	}
+}
+
+// waitCampaign polls a campaign until terminal and returns the final
+// aggregate (with per-cell detail).
+func waitCampaign(t *testing.T, base, id string) campaign.Aggregate {
+	t.Helper()
+	deadline := time.Now().Add(180 * time.Second)
+	for {
+		code, _, body := httpJSON(t, "GET", base+"/v1/campaigns/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("campaign status %s: %d %s", id, code, body)
+		}
+		var agg campaign.Aggregate
+		if err := json.Unmarshal(body, &agg); err != nil {
+			t.Fatal(err)
+		}
+		if agg.Status.Terminal() {
+			return agg
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s not terminal in time: %+v", id, agg)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func campaignCSV(t *testing.T, base, id string) []byte {
+	t.Helper()
+	code, hdr, body := httpJSON(t, "GET", base+"/v1/campaigns/"+id+"/result?format=csv", nil)
+	if code != http.StatusOK {
+		t.Fatalf("campaign csv: %d %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+		t.Fatalf("csv Content-Type = %q", ct)
+	}
+	return body
+}
+
+// TestCampaignChaosKillAndResume is the campaign-level crash drill: a
+// campaign survives kill -9 mid-run, resumes under its original ID
+// re-running only unfinished cells (cached cells are not re-solved, the
+// duplicates were folded once), and its CSV artifact is byte-identical
+// to an uninterrupted run.
+func TestCampaignChaosKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemons and runs solvers")
+	}
+	dir := t.TempDir()
+	body := mustJSON(t, chaosCampaign())
+
+	// Phase 1: the grid expands σ-slowest, so cell-done events 1-3 are
+	// the flat σ=0 row; arming the injector at the 4th event crashes
+	// right after the first rough cell's points are durable in the
+	// result cache but before its journal record — the worst case the
+	// resume path must tolerate.
+	cmd1, addr1 := spawnHelper(t, dir, "campaign.cell:4")
+	code, _, resp := httpJSON(t, "POST", "http://"+addr1+"/v1/campaigns", body)
+	if code != http.StatusAccepted {
+		cmd1.Process.Kill()
+		t.Fatalf("campaign submit: %d %s", code, resp)
+	}
+	var agg campaign.Aggregate
+	if err := json.Unmarshal(resp, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.CellsTotal != 9 || agg.DuplicatesFolded != 2 {
+		t.Fatalf("planned %d cells / %d folded, want 9 / 2: %s", agg.CellsTotal, agg.DuplicatesFolded, resp)
+	}
+	err := cmd1.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 137 {
+		t.Fatalf("helper exit = %v, want chaos crash status 137", err)
+	}
+
+	// Phase 2: restart against the same journal + cache. The campaign
+	// must resume under its original content-addressed ID, recognize the
+	// crashed-after cell from the cache, and finish the rest.
+	cmd2, addr2 := spawnHelper(t, dir, "")
+	base2 := "http://" + addr2
+	final := waitCampaign(t, base2, agg.ID)
+	if final.Status != campaign.StatusSucceeded {
+		t.Fatalf("resumed campaign ended %s: %s", final.Status, final.Error)
+	}
+	if final.CellsDone != 9 || final.CellsFailed != 0 {
+		t.Fatalf("resumed aggregate: %+v", final)
+	}
+	counters := scrapeCounters(t, base2)
+	if got := counters["journal.campaigns_replayed"]; got != 1 {
+		t.Errorf("campaigns_replayed = %d, want 1", got)
+	}
+	if got := counters["campaign.cells_cached"]; got < 1 {
+		t.Errorf("cells_cached = %d, want >= 1 (finished cell must not re-solve)", got)
+	}
+	if got := counters["campaign.cells_deduped"]; got != 2 {
+		t.Errorf("cells_deduped = %d, want 2", got)
+	}
+	if got := counters["campaign.cells_flat"]; got != 3 {
+		t.Errorf("cells_flat = %d, want 3 (σ=0 row synthesized, not solved)", got)
+	}
+	resumedCSV := campaignCSV(t, base2, agg.ID)
+	stopHelper(t, cmd2)
+
+	// Phase 3: uninterrupted reference run in a pristine environment.
+	refDir := t.TempDir()
+	cmd3, addr3 := spawnHelper(t, refDir, "")
+	base3 := "http://" + addr3
+	code, _, resp = httpJSON(t, "POST", "http://"+addr3+"/v1/campaigns", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("reference submit: %d %s", code, resp)
+	}
+	var refAgg campaign.Aggregate
+	if err := json.Unmarshal(resp, &refAgg); err != nil {
+		t.Fatal(err)
+	}
+	if refAgg.ID != agg.ID {
+		t.Fatalf("content address drifted: %s vs %s", refAgg.ID, agg.ID)
+	}
+	if st := waitCampaign(t, base3, refAgg.ID); st.Status != campaign.StatusSucceeded {
+		t.Fatalf("reference campaign ended %s: %s", st.Status, st.Error)
+	}
+	refCSV := campaignCSV(t, base3, refAgg.ID)
+	stopHelper(t, cmd3)
+
+	if !bytes.Equal(resumedCSV, refCSV) {
+		t.Fatalf("resumed CSV differs from uninterrupted run:\nresumed:\n%s\nreference:\n%s", resumedCSV, refCSV)
+	}
+}
+
+// TestCampaignEndpointLifecycle drives the fast path end to end on a
+// memory-only server: flat-only cells complete without a solver run.
+func TestCampaignEndpointLifecycle(t *testing.T) {
+	ts := startServer(t, Config{Workers: 1, QueueDepth: 2})
+	defer ts.shutdown(t)
+
+	cfg := roughsim.CampaignConfig{
+		Cells: []roughsim.SurfaceSpec{
+			{Corr: roughsim.GaussianCF, Sigma: 0, Eta: 1e-6},
+			{Corr: roughsim.GaussianCF, Sigma: 0, Eta: 2e-6},
+		},
+		Freqs: []float64{1e9, 5e9},
+	}
+	code, body := ts.do(t, "POST", "/v1/campaigns", cfg)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var agg campaign.Aggregate
+	if err := json.Unmarshal(body, &agg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Idempotent by content address: the same study is one campaign.
+	code, body = ts.do(t, "POST", "/v1/campaigns", cfg)
+	if code != http.StatusOK {
+		t.Fatalf("re-submit: %d %s", code, body)
+	}
+	var again campaign.Aggregate
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != agg.ID {
+		t.Fatalf("re-submit relaunched: %s vs %s", again.ID, agg.ID)
+	}
+
+	code, body = ts.do(t, "GET", "/v1/campaigns", nil)
+	if code != http.StatusOK || !bytes.Contains(body, []byte(agg.ID)) {
+		t.Fatalf("list: %d %s", code, body)
+	}
+
+	final := waitCampaign(t, ts.base, agg.ID)
+	if final.Status != campaign.StatusSucceeded || final.CellsDone != 2 {
+		t.Fatalf("final aggregate: %+v", final)
+	}
+	if len(final.Cells) != 2 {
+		t.Fatalf("status detail carries %d cells, want 2", len(final.Cells))
+	}
+
+	code, body = ts.do(t, "GET", "/v1/campaigns/"+agg.ID+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, body)
+	}
+	var art campaign.Artifact
+	if err := json.Unmarshal(body, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Cells) != 2 || len(art.Cells[0].Points) != 2 {
+		t.Fatalf("artifact shape: %s", body)
+	}
+	for _, p := range art.Cells[0].Points {
+		if p.KSWM != 1 {
+			t.Fatalf("flat cell K = %v, want 1", p.KSWM)
+		}
+	}
+
+	csv := campaignCSV(t, ts.base, agg.ID)
+	if !bytes.HasPrefix(csv, []byte("cell,cf,")) {
+		t.Fatalf("csv = %q", csv)
+	}
+	if n := bytes.Count(csv, []byte("\n")); n != 5 {
+		t.Fatalf("csv has %d lines, want header + 2 cells × 2 freqs", n)
+	}
+
+	// Deleting a terminal campaign forgets it.
+	if code, body = ts.do(t, "DELETE", "/v1/campaigns/"+agg.ID, nil); code != http.StatusOK {
+		t.Fatalf("delete: %d %s", code, body)
+	}
+	if code, _ = ts.do(t, "GET", "/v1/campaigns/"+agg.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted campaign still answers: %d", code)
+	}
+}
+
+// TestCampaignBusyResultConflictAndCancel: a campaign whose cell cannot
+// be queued parks on backpressure (not failure), its result is 409
+// while running, and DELETE cancels it.
+func TestCampaignBusyResultConflictAndCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs solvers")
+	}
+	ts := startServer(t, Config{Workers: 1, QueueDepth: 1})
+	defer ts.shutdown(t)
+
+	// Fill the worker and the one queue slot with interactive sweeps.
+	code, body := ts.do(t, "POST", "/v1/sweeps", tinyConfig(5e9))
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep A: %d %s", code, body)
+	}
+	var a jobs.Info
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body = ts.do(t, "GET", "/v1/sweeps/"+a.ID, nil)
+		var info jobs.Info
+		if code != http.StatusOK || json.Unmarshal(body, &info) != nil {
+			t.Fatalf("sweep A status: %d %s", code, body)
+		}
+		if info.Status == jobs.StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep A never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, body = ts.do(t, "POST", "/v1/sweeps", tinyConfig(7e9)); code != http.StatusAccepted {
+		t.Fatalf("sweep B: %d %s", code, body)
+	}
+
+	cfg := roughsim.CampaignConfig{
+		Acc:   roughsim.Accuracy{GridPerSide: 8, StochasticDim: 2},
+		Cells: []roughsim.SurfaceSpec{{Corr: roughsim.GaussianCF, Sigma: 0.4e-6, Eta: 1e-6}},
+		Freqs: []float64{5e9},
+	}
+	code, body = ts.do(t, "POST", "/v1/campaigns", cfg)
+	if code != http.StatusAccepted {
+		t.Fatalf("campaign on full queue must park, got: %d %s", code, body)
+	}
+	var agg campaign.Aggregate
+	if err := json.Unmarshal(body, &agg); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, body = ts.do(t, "GET", "/v1/campaigns/"+agg.ID+"/result", nil); code != http.StatusConflict {
+		t.Fatalf("result of a running campaign: %d %s, want 409", code, body)
+	}
+
+	if code, body = ts.do(t, "DELETE", "/v1/campaigns/"+agg.ID, nil); code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", code, body)
+	}
+	final := waitCampaign(t, ts.base, agg.ID)
+	if final.Status != campaign.StatusCanceled {
+		t.Fatalf("canceled campaign ended %s", final.Status)
+	}
+	// A terminal (canceled) campaign serves its partial artifact.
+	if code, body = ts.do(t, "GET", "/v1/campaigns/"+agg.ID+"/result", nil); code != http.StatusOK {
+		t.Fatalf("canceled result: %d %s", code, body)
+	}
+}
+
+// TestCampaignEventsSSE: the events stream ends with a "done" event
+// carrying per-cell detail.
+func TestCampaignEventsSSE(t *testing.T) {
+	ts := startServer(t, Config{Workers: 1, QueueDepth: 2})
+	defer ts.shutdown(t)
+
+	cfg := roughsim.CampaignConfig{
+		Cells: []roughsim.SurfaceSpec{{Corr: roughsim.GaussianCF, Sigma: 0, Eta: 1e-6}},
+		Freqs: []float64{1e9},
+	}
+	code, body := ts.do(t, "POST", "/v1/campaigns", cfg)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var agg campaign.Aggregate
+	if err := json.Unmarshal(body, &agg); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.client.Get(ts.base + "/v1/campaigns/" + agg.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	rawb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := string(rawb)
+	if !strings.Contains(raw, "event: progress") || !strings.Contains(raw, "event: done") {
+		t.Fatalf("stream missing progress/done events:\n%s", raw)
+	}
+	// The done event carries the cells detail.
+	last := raw[strings.LastIndex(raw, "event: done"):]
+	if !strings.Contains(last, `"cells"`) {
+		t.Fatalf("done event has no cell detail:\n%s", last)
+	}
+}
+
+// TestCampaignBadRequestsNameField: invalid bodies on BOTH decode paths
+// come back 400 with the offending field named.
+func TestCampaignBadRequestsNameField(t *testing.T) {
+	ts := startServer(t, Config{Workers: 1, QueueDepth: 2, MaxCampaignCells: 4})
+	defer ts.shutdown(t)
+
+	cases := []struct {
+		name  string
+		path  string
+		body  string
+		field string
+	}{
+		{"sweep bad cf", "/v1/sweeps",
+			`{"surface":{"cf":"bogus","sigma":4e-7,"eta":1e-6},"freqs_hz":[1e9]}`,
+			`"cf"`},
+		{"sweep wrong type", "/v1/sweeps",
+			`{"freqs_hz":"not-a-list"}`,
+			`"freqs_hz"`},
+		{"sweep unknown field", "/v1/sweeps",
+			`{"frequency":[1e9]}`,
+			`"frequency"`},
+		{"campaign bad cf", "/v1/campaigns",
+			`{"cells":[{"cf":"triangular","sigma":4e-7,"eta":1e-6}],"freqs_hz":[1e9]}`,
+			`"cf"`},
+		{"campaign reversed band", "/v1/campaigns",
+			`{"cells":[{"cf":"gaussian","sigma":4e-7,"eta":1e-6}],"band":{"fmin_hz":9e9,"fmax_hz":1e9}}`,
+			"fmax_hz"},
+		{"campaign non-positive step", "/v1/campaigns",
+			`{"grid":{"sigmas":{"min":1e-7,"max":5e-7},"etas":{"values":[1e-6]}},"freqs_hz":[1e9]}`,
+			"grid.sigmas"},
+		{"campaign unknown field", "/v1/campaigns",
+			`{"cellz":[{"cf":"gaussian","sigma":4e-7,"eta":1e-6}],"freqs_hz":[1e9]}`,
+			`"cellz"`},
+		{"campaign no cells", "/v1/campaigns",
+			`{"freqs_hz":[1e9]}`,
+			"grid"},
+		{"campaign over cell limit", "/v1/campaigns",
+			`{"grid":{"sigmas":{"values":[0,1e-7,2e-7]},"etas":{"values":[1e-6,2e-6]}},"freqs_hz":[1e9]}`,
+			"limit is 4"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, body := httpJSON(t, "POST", ts.base+tc.path, []byte(tc.body))
+			if code != http.StatusBadRequest {
+				t.Fatalf("code = %d %s, want 400", code, body)
+			}
+			var payload struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &payload); err != nil {
+				t.Fatalf("non-JSON error body %s: %v", body, err)
+			}
+			if !strings.Contains(payload.Error, tc.field) {
+				t.Fatalf("error %q does not name %s", payload.Error, tc.field)
+			}
+		})
+	}
+}
+
+// TestHealthzReadiness: /healthz reports the durable directories, flips
+// to 503 when one becomes unwritable, and campaigns are refused onto a
+// wedged disk.
+func TestHealthzReadiness(t *testing.T) {
+	t.Run("memory-only is always ready", func(t *testing.T) {
+		ts := startServer(t, Config{Workers: 1, QueueDepth: 2})
+		defer ts.shutdown(t)
+		code, body := ts.do(t, "GET", "/healthz", nil)
+		if code != http.StatusOK {
+			t.Fatalf("healthz: %d %s", code, body)
+		}
+		var h healthPayload
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatal(err)
+		}
+		if !h.Ready || len(h.Facets) != 0 {
+			t.Fatalf("memory-only readiness: %s", body)
+		}
+	})
+
+	t.Run("durable dirs probed and recovered", func(t *testing.T) {
+		dir := t.TempDir()
+		ts := startServer(t, durableConfig(dir, nil))
+		defer ts.shutdown(t)
+
+		code, body := ts.do(t, "GET", "/healthz", nil)
+		var h healthPayload
+		if code != http.StatusOK || json.Unmarshal(body, &h) != nil {
+			t.Fatalf("healthz: %d %s", code, body)
+		}
+		if !h.Ready || len(h.Facets) != 2 {
+			t.Fatalf("want 2 ready facets: %s", body)
+		}
+
+		// Wedge the cache tier: a regular file where the directory was
+		// (ENOTDIR on the probe — chmod is useless under root).
+		cacheDir := filepath.Join(dir, "cache")
+		if err := os.RemoveAll(cacheDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(cacheDir, []byte("wedge"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, body = ts.do(t, "GET", "/healthz", nil)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("wedged healthz: %d %s", code, body)
+		}
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatal(err)
+		}
+		var cacheFacet *healthFacet
+		for i := range h.Facets {
+			if h.Facets[i].Name == "cache" {
+				cacheFacet = &h.Facets[i]
+			}
+		}
+		if h.Ready || cacheFacet == nil || cacheFacet.OK || cacheFacet.Error == "" {
+			t.Fatalf("wedged payload: %s", body)
+		}
+
+		// A campaign must not be accepted onto a wedged disk.
+		camp := roughsim.CampaignConfig{
+			Cells: []roughsim.SurfaceSpec{{Corr: roughsim.GaussianCF, Sigma: 0, Eta: 1e-6}},
+			Freqs: []float64{1e9},
+		}
+		code, body = ts.do(t, "POST", "/v1/campaigns", camp)
+		if code != http.StatusServiceUnavailable || !bytes.Contains(body, []byte("not ready")) {
+			t.Fatalf("campaign onto wedged disk: %d %s", code, body)
+		}
+
+		// Unwedge: the probe recreates the directory itself.
+		if err := os.Remove(cacheDir); err != nil {
+			t.Fatal(err)
+		}
+		if code, body = ts.do(t, "GET", "/healthz", nil); code != http.StatusOK {
+			t.Fatalf("recovered healthz: %d %s", code, body)
+		}
+		code, body = ts.do(t, "POST", "/v1/campaigns", camp)
+		if code != http.StatusAccepted {
+			t.Fatalf("campaign after recovery: %d %s", code, body)
+		}
+		var agg campaign.Aggregate
+		if err := json.Unmarshal(body, &agg); err != nil {
+			t.Fatal(err)
+		}
+		waitCampaign(t, ts.base, agg.ID)
+	})
+}
+
+// TestCampaignDedupeCounters: duplicates are folded at plan time, and
+// the counters prove each unique cell was solved at most once.
+func TestCampaignDedupeCounters(t *testing.T) {
+	ts := startServer(t, Config{Workers: 1, QueueDepth: 2})
+	defer ts.shutdown(t)
+
+	cfg := roughsim.CampaignConfig{
+		Cells: []roughsim.SurfaceSpec{
+			{Corr: roughsim.GaussianCF, Sigma: 0, Eta: 1e-6},
+			{Corr: roughsim.GaussianCF, Sigma: 0, Eta: 1e-6}, // duplicate
+			{Corr: roughsim.GaussianCF, Sigma: 0, Eta: 2e-6},
+		},
+		Freqs: []float64{1e9},
+	}
+	code, body := ts.do(t, "POST", "/v1/campaigns", cfg)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var agg campaign.Aggregate
+	if err := json.Unmarshal(body, &agg); err != nil {
+		t.Fatal(err)
+	}
+	final := waitCampaign(t, ts.base, agg.ID)
+	if final.CellsTotal != 2 || final.DuplicatesFolded != 1 {
+		t.Fatalf("aggregate: %+v", final)
+	}
+	if got := ts.metrics.Counter("campaign.cells_deduped").Value(); got != 1 {
+		t.Errorf("cells_deduped = %d, want 1", got)
+	}
+	if got := ts.metrics.Counter("campaign.cells_total").Value(); got != 2 {
+		t.Errorf("cells_total = %d, want 2", got)
+	}
+	// The folded duplicate is visible on its surviving cell.
+	var dup bool
+	for _, c := range final.Cells {
+		if c.Duplicates > 0 {
+			dup = true
+		}
+	}
+	if !dup {
+		t.Errorf("no cell carries the folded-duplicate count: %+v", final.Cells)
+	}
+}

@@ -97,11 +97,12 @@ func (s *Server) submitSweep(cfg roughsim.SweepConfig) (*jobs.Job, error) {
 }
 
 // replayPending re-enqueues the unfinished jobs a journal replay
-// surfaced, preserving their original job IDs and spent attempt counts.
+// surfaced, preserving their original job IDs and spent attempt counts,
+// then resumes unfinished campaigns under their original campaign IDs.
 // Called from New before the listener is up, so replayed work races
 // nothing.
-func (s *Server) replayPending(pending []journal.Pending) {
-	for _, p := range pending {
+func (s *Server) replayPending(rep journal.Replay) {
+	for _, p := range rep.Jobs {
 		var cfg roughsim.SweepConfig
 		if err := json.Unmarshal(p.Config, &cfg); err != nil {
 			s.log.Warn("journal replay: undecodable config", "job", p.JobID, "err", err)
@@ -125,12 +126,46 @@ func (s *Server) replayPending(pending []journal.Pending) {
 		s.log.Info("journal replay: job re-enqueued",
 			"job", p.JobID, "attempts_spent", p.Attempts, "anchors_done", p.AnchorsDone)
 	}
+	for _, pc := range rep.Campaigns {
+		var cfg roughsim.CampaignConfig
+		if err := json.Unmarshal(pc.Config, &cfg); err != nil {
+			s.log.Warn("journal replay: undecodable campaign config", "campaign", pc.ID, "err", err)
+			s.journal.Append(journal.Record{
+				Op: journal.OpCampaignFailed, JobID: pc.ID,
+				Error: "replay: undecodable config: " + err.Error(),
+				Kind:  resilience.KindInvalidInput.String(),
+			})
+			continue
+		}
+		c, _, err := s.camps.Start(cfg)
+		if err != nil {
+			s.log.Warn("journal replay: campaign restart failed", "campaign", pc.ID, "err", err)
+			s.journal.Append(journal.Record{
+				Op: journal.OpCampaignFailed, JobID: pc.ID,
+				Error: "replay rejected: " + err.Error(),
+				Kind:  resilience.Classify(err).String(),
+			})
+			continue
+		}
+		if c.ID != pc.ID {
+			// The content-address schema changed underneath the journal:
+			// close out the orphaned record so it cannot replay forever —
+			// the campaign continues under its recomputed ID.
+			s.journal.Append(journal.Record{
+				Op: journal.OpCampaignCanceled, JobID: pc.ID,
+				Error: "replay: campaign key schema changed; resumed as " + c.ID,
+			})
+		}
+		s.metrics.Counter("journal.campaigns_replayed").Inc()
+		s.log.Info("journal replay: campaign resumed",
+			"campaign", pc.ID, "cells_done_before_crash", pc.CellsDone)
+	}
 }
 
 // journalStarted records a worker pickup (advances the attempt count a
 // future replay seeds the job with).
 func (s *Server) journalStarted(meta jobs.Meta, ok bool) {
-	if s.journal == nil || !ok {
+	if s.journal == nil || !ok || s.isUnjournaled(meta.JobID) {
 		return
 	}
 	s.journal.Append(journal.Record{
@@ -148,16 +183,21 @@ func (s *Server) observeTerminal(j *jobs.Job) {
 	if info.Status == jobs.StatusCanceled && s.queue.Draining() {
 		return
 	}
+	// Campaign cell jobs carry no per-job journal records (the campaign
+	// record is their durability); breaker accounting and checkpoint
+	// cleanup still apply.
+	unj := s.clearUnjournaled(j.ID)
+	journaled := s.journal != nil && !unj
 	switch info.Status {
 	case jobs.StatusSucceeded:
 		s.brk.Record(true)
-		if s.journal != nil {
+		if journaled {
 			s.journal.Append(journal.Record{Op: journal.OpCompleted, JobID: j.ID})
 		}
 		s.purgeCheckpoints(j.ID)
 	case jobs.StatusFailed:
 		s.brk.Record(false)
-		if s.journal != nil {
+		if journaled {
 			_, err := j.Result()
 			rec := journal.Record{Op: journal.OpFailed, JobID: j.ID}
 			if err != nil {
@@ -168,7 +208,7 @@ func (s *Server) observeTerminal(j *jobs.Job) {
 		}
 		s.purgeCheckpoints(j.ID)
 	case jobs.StatusCanceled:
-		if s.journal != nil {
+		if journaled {
 			s.journal.Append(journal.Record{Op: journal.OpCanceled, JobID: j.ID})
 		}
 		s.purgeCheckpoints(j.ID)
@@ -299,12 +339,20 @@ func writeRetryError(w http.ResponseWriter, status int, retry time.Duration, err
 }
 
 // writeDecodeError maps a request-body decode failure to its status:
-// 413 when the MaxBytesReader limit tripped, 400 otherwise.
+// 413 when the MaxBytesReader limit tripped, 400 otherwise — naming the
+// offending field when the decoder knows it, so a client can fix the
+// request instead of bisecting it.
 func writeDecodeError(w http.ResponseWriter, err error) {
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
 		writeError(w, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("request body exceeds the %d-byte limit", mbe.Limit))
+		return
+	}
+	var ute *json.UnmarshalTypeError
+	if errors.As(err, &ute) && ute.Field != "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"decode request: field %q: want %s, got %s", ute.Field, ute.Type, ute.Value))
 		return
 	}
 	writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))

@@ -12,6 +12,14 @@
 //	GET  /v1/sweeps/{id}/result  the roughsim.SweepResult (when succeeded)
 //	GET  /v1/sweeps/{id}/stream  SSE progress events until terminal
 //	DELETE /v1/sweeps/{id}     cancel a queued or running job
+//	POST /v1/campaigns         submit a roughsim.CampaignConfig (a parameter
+//	                           grid); 202 + aggregate, idempotent by content ID
+//	GET  /v1/campaigns         list campaign aggregates
+//	GET  /v1/campaigns/{id}    aggregate + per-cell detail
+//	DELETE /v1/campaigns/{id}  cancel a running campaign / forget a terminal one
+//	GET  /v1/campaigns/{id}/events  SSE aggregate progress until terminal
+//	GET  /v1/campaigns/{id}/result  combined artifact (JSON; CSV with
+//	                           ?format=csv or Accept: text/csv)
 //	POST /v1/surrogates        fit + validate + admit a broadband K(f) model
 //	GET  /v1/surrogates        list surrogate admission records
 //	GET  /v1/surrogates/{key}  one admission record
@@ -20,7 +28,8 @@
 //	                           falls back to the exact sweep tier otherwise)
 //	GET  /metrics              telemetry snapshot (JSON; Prometheus text
 //	                           on ?format=prometheus or a scraper Accept)
-//	GET  /healthz              liveness
+//	GET  /healthz              liveness + readiness facets (journal/cache
+//	                           directory writability; 503 when degraded)
 //	GET  /debug/trace/{id}     full span tree of a job's trace
 //	GET  /debug/traces         per-stage rollups of recent traces
 //	GET  /debug/pprof/...      stdlib profiler (only with EnablePprof)
@@ -47,6 +56,7 @@ import (
 	"time"
 
 	"roughsim"
+	"roughsim/internal/campaign"
 	"roughsim/internal/jobs"
 	"roughsim/internal/journal"
 	"roughsim/internal/rescache"
@@ -91,6 +101,13 @@ type Config struct {
 	// MaxAttempts bounds how many times a transiently failing job runs
 	// before it fails permanently (default 3; 1 disables retries).
 	MaxAttempts int
+	// CampaignCells caps the sweep cells one campaign keeps in flight
+	// (default Workers−1, floor 1), so batch campaigns cannot starve
+	// interactive sweeps of the worker pool.
+	CampaignCells int
+	// MaxCampaignCells bounds the expanded cell count of an accepted
+	// campaign (default 512).
+	MaxCampaignCells int
 	// RetryBase is the base of the exponential between-attempt backoff
 	// (default 250ms).
 	RetryBase time.Duration
@@ -139,6 +156,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 3
+	}
+	if c.CampaignCells <= 0 {
+		c.CampaignCells = c.Workers - 1
+		if c.CampaignCells < 1 {
+			c.CampaignCells = 1
+		}
+	}
+	if c.MaxCampaignCells <= 0 {
+		c.MaxCampaignCells = 512
 	}
 	if c.ReadHeaderTimeout <= 0 {
 		c.ReadHeaderTimeout = 10 * time.Second
@@ -213,6 +239,18 @@ type Server struct {
 	// brk is the exact-solve circuit breaker; chaos the fault injector.
 	brk   *breaker
 	chaos *resilience.Injector
+
+	// camps is the campaign engine (batch parameter studies fanning out
+	// through the same queue under their own concurrency cap).
+	camps *campaign.Engine
+	// unjournaled marks campaign cell jobs: their durability is the
+	// campaign's journal record plus the result cache, so the per-job
+	// journal protocol skips them.
+	unjMu       sync.Mutex
+	unjournaled map[string]struct{}
+	// campCellSeq orders campaign cell completions server-wide (the
+	// campaign.cell chaos occurrence key).
+	campCellSeq atomic.Uint64
 }
 
 // sweepFlight is one in-flight sweep computation.
@@ -269,49 +307,67 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:        cfg,
-		queue:      queue,
-		cache:      cache,
-		metrics:    cfg.Metrics,
-		tracer:     trace.NewRecorder(cfg.TraceCapacity),
-		log:        cfg.Log,
-		mux:        http.NewServeMux(),
-		tables:     roughsim.NewTableCache(cfg.TableCacheSize, cfg.Metrics),
-		surrogates: surrogate.NewRegistry(cfg.SurrogateCap, cfg.SurrogateDir, cfg.Metrics),
-		sims:       map[rescache.Key]*roughsim.Simulation{},
-		flights:    map[rescache.Key]*sweepFlight{},
-		ckpts:      ckpts,
-		ckptCfgs:   map[string]roughsim.SweepConfig{},
-		brk:        newBreaker(cfg.Breaker, cfg.Metrics),
-		chaos:      cfg.Chaos,
+		cfg:         cfg,
+		queue:       queue,
+		cache:       cache,
+		metrics:     cfg.Metrics,
+		tracer:      trace.NewRecorder(cfg.TraceCapacity),
+		log:         cfg.Log,
+		mux:         http.NewServeMux(),
+		tables:      roughsim.NewTableCache(cfg.TableCacheSize, cfg.Metrics),
+		surrogates:  surrogate.NewRegistry(cfg.SurrogateCap, cfg.SurrogateDir, cfg.Metrics),
+		sims:        map[rescache.Key]*roughsim.Simulation{},
+		flights:     map[rescache.Key]*sweepFlight{},
+		ckpts:       ckpts,
+		ckptCfgs:    map[string]roughsim.SweepConfig{},
+		brk:         newBreaker(cfg.Breaker, cfg.Metrics),
+		chaos:       cfg.Chaos,
+		unjournaled: map[string]struct{}{},
 	}
 	queue.SetTracer(s.tracer)
 	// The observer (journal terminal records, breaker outcomes,
 	// checkpoint purge) must be live before replay re-enqueues anything.
 	queue.SetObserver(s.observeTerminal)
+	// The campaign engine fans cells out through the same queue; it must
+	// exist before journal replay resumes pending campaigns.
+	s.camps = campaign.NewEngine(campaign.Options{
+		Runner:        cellRunner{s},
+		MaxConcurrent: cfg.CampaignCells,
+		Metrics:       cfg.Metrics,
+		Tracer:        s.tracer,
+		CellSeconds:   cfg.Metrics.Histogram("queue.job_seconds"),
+		Hooks: campaign.Hooks{
+			CellDone: s.campaignCellDone,
+			Terminal: s.campaignTerminal,
+		},
+	})
 	if cfg.JournalPath != "" {
-		jnl, pending, err := journal.Open(cfg.JournalPath, cfg.Metrics)
+		jnl, rep, err := journal.Open(cfg.JournalPath, cfg.Metrics)
 		if err != nil {
 			queue.Drain(context.Background())
 			return nil, fmt.Errorf("server: open journal: %w", err)
 		}
 		s.journal = jnl
-		s.replayPending(pending)
+		s.replayPending(rep)
 	}
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignStatus)
+	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignDelete)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleCampaignResult)
 	s.mux.HandleFunc("POST /v1/surrogates", s.handleSurrogateSubmit)
 	s.mux.HandleFunc("GET /v1/surrogates", s.handleSurrogateList)
 	s.mux.HandleFunc("GET /v1/surrogates/{key}", s.handleSurrogateGet)
 	s.mux.HandleFunc("DELETE /v1/surrogates/{key}", s.handleSurrogateEvict)
 	s.mux.HandleFunc("GET /k", s.handleK)
 	s.mux.Handle("GET /metrics", cfg.Metrics.Handler())
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	if cfg.EnablePprof {

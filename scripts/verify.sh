@@ -16,7 +16,8 @@ go test -race -short ./internal/montecarlo/... ./internal/sscm/... \
     ./internal/resilience/... ./internal/mom/... ./internal/core/... \
     ./internal/server/... ./internal/jobs/... ./internal/rescache/... \
     ./internal/telemetry/... ./internal/sweepengine/... \
-    ./internal/surrogate/... ./internal/trace/... ./internal/journal/...
+    ./internal/surrogate/... ./internal/trace/... ./internal/journal/... \
+    ./internal/campaign/...
 # The journal and retry machinery also get a full (non-short) race pass:
 # WAL replay and backoff-requeue races only show up off the fast paths.
 go test -race -count=1 ./internal/journal/... ./internal/jobs/...

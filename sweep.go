@@ -54,15 +54,16 @@ func (k CFKind) MarshalJSON() ([]byte, error) {
 	return json.Marshal(s)
 }
 
-// UnmarshalJSON accepts a wire name.
+// UnmarshalJSON accepts a wire name. Decode errors name the request
+// field ("cf") so an API 400 points at the offending input.
 func (k *CFKind) UnmarshalJSON(b []byte) error {
 	var s string
 	if err := json.Unmarshal(b, &s); err != nil {
-		return err
+		return fmt.Errorf(`field "cf": want a correlation-function name string: %w`, err)
 	}
 	v, err := ParseCFKind(s)
 	if err != nil {
-		return err
+		return fmt.Errorf(`field "cf": unknown correlation function %q (want "gaussian", "exp" or "measured")`, s)
 	}
 	*k = v
 	return nil
