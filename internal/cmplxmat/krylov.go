@@ -16,6 +16,12 @@ type IterOpts struct {
 	Tol     float64 // relative residual target (default 1e-10)
 	MaxIter int     // total matvec budget (default 10·n, at least 200)
 	Restart int     // GMRES restart length (default min(n, 60))
+	// Check, when non-nil, is consulted at every GMRES restart boundary
+	// (and every BiCGSTAB iteration); a non-nil return aborts the solve
+	// with that error and the best iterate so far. Callers use it to
+	// honor context cancellation inside long solves without threading a
+	// context through this package.
+	Check func() error
 }
 
 func (o IterOpts) withDefaults(n int) IterOpts {
@@ -76,6 +82,11 @@ func GMRES(n int, mv MatVec, b, x0 []complex128, opts IterOpts) ([]complex128, f
 	matvecs := 0
 	relres := math.Inf(1)
 	for matvecs < opts.MaxIter {
+		if opts.Check != nil {
+			if err := opts.Check(); err != nil {
+				return x, relres, err
+			}
+		}
 		// r = b − A·x
 		mv(w, x)
 		matvecs++
@@ -214,6 +225,11 @@ func BiCGSTAB(n int, mv MatVec, b, x0 []complex128, opts IterOpts) ([]complex128
 	t := make([]complex128, n)
 	relres := Norm2(r) / bnorm
 	for it := 0; it < opts.MaxIter; it++ {
+		if opts.Check != nil {
+			if err := opts.Check(); err != nil {
+				return x, relres, err
+			}
+		}
 		if relres <= opts.Tol {
 			return x, relres, nil
 		}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"roughsim/internal/cmplxmat"
 	"roughsim/internal/mom"
 	"roughsim/internal/resilience"
 	"roughsim/internal/surface"
@@ -66,10 +67,17 @@ func (m Material) Params(f float64) mom.Params {
 // SolveStats aggregates the per-stage accounting of every resilient
 // solve a Solver has run.
 type SolveStats struct {
-	Solves        int            // completed resilient solves
-	Fallbacks     int            // solves not won by the first stage
+	Solves int // completed resilient solves
+	// Fallbacks counts solves not won by a first-line stage (the FFT
+	// operator stage or plain GMRES): a fallback means an iterative
+	// stage actually failed, not that the FFT stage was gated off.
+	Fallbacks     int
 	StageWins     map[string]int // winning stage → count
 	StageFailures map[string]int // failed stage attempts → count
+	// StageSkips counts stages gated off by a deterministic
+	// admissibility check (e.g. fft-gmres on an over-bound surface) —
+	// recorded rejections, not execution failures.
+	StageSkips map[string]int
 }
 
 // Solver computes loss enhancement factors for surfaces over a fixed
@@ -170,6 +178,10 @@ func (s *Solver) Stats() SolveStats {
 	for k, v := range s.stats.StageFailures {
 		out.StageFailures[k] = v
 	}
+	out.StageSkips = make(map[string]int, len(s.stats.StageSkips))
+	for k, v := range s.stats.StageSkips {
+		out.StageSkips[k] = v
+	}
 	return out
 }
 
@@ -180,19 +192,24 @@ func (s *Solver) record(rep *mom.SolveReport) {
 	if s.stats.StageWins == nil {
 		s.stats.StageWins = map[string]int{}
 		s.stats.StageFailures = map[string]int{}
+		s.stats.StageSkips = map[string]int{}
 	}
 	s.stats.Solves++
 	s.Metrics.Counter("solve.count").Inc()
 	if rep.Winner != "" {
 		s.stats.StageWins[rep.Winner]++
 		s.Metrics.Counter("solve.stage_win." + rep.Winner).Inc()
-		if rep.Winner != mom.StageGMRES {
+		if rep.Winner != mom.StageFFT && rep.Winner != mom.StageGMRES {
 			s.stats.Fallbacks++
 			s.Metrics.Counter("solve.fallbacks").Inc()
 		}
 	}
 	for _, a := range rep.Attempts {
-		if a.Err != nil {
+		switch {
+		case a.Skipped:
+			s.stats.StageSkips[a.Stage]++
+			s.Metrics.Counter("solve.stage_skip." + a.Stage).Inc()
+		case a.Err != nil:
 			s.stats.StageFailures[a.Stage]++
 			s.Metrics.Counter("solve.stage_failure." + a.Stage).Inc()
 		}
@@ -209,6 +226,7 @@ func (s *Solver) solve(ctx context.Context, sys *mom.System) (*mom.Solution, err
 		Policy:   s.Policy,
 		Injector: s.Injector,
 		Key:      atomic.AddUint64(&s.key, 1) - 1,
+		Metrics:  s.Metrics,
 	})
 	elapsed := time.Since(start).Seconds()
 	s.Metrics.Histogram("solve.seconds").Observe(elapsed)
@@ -280,6 +298,56 @@ func (s *Solver) AssembleSurfaceCtx(ctx context.Context, surf *surface.Surface, 
 	return mom.Assemble(surf, s.Mat.Params(f), opt), nil
 }
 
+// PrepareSurface is PrepareSurfaceCtx without trace propagation.
+func (s *Solver) PrepareSurface(surf *surface.Surface, f float64, workers int) (*mom.System, error) {
+	return s.PrepareSurfaceCtx(context.Background(), surf, f, workers)
+}
+
+// PrepareSurfaceCtx builds the system for surf at f through the
+// matrix-free operator path: when the surface passes the FFT
+// admissibility gates the FFT-accelerated operator is constructed up
+// front (under a "mom.fft.build" span, through the frequency's Green's
+// tables when ZSpan > 0), and the dense matrix is only assembled — via
+// the solver's configured dense path, counted in
+// solve.dense_materialized — if a dense fallback stage of the resilient
+// chain actually runs. A solve won by the fft-gmres stage therefore
+// performs zero dense-matrix assemblies.
+func (s *Solver) PrepareSurfaceCtx(ctx context.Context, surf *surface.Surface, f float64, workers int) (*mom.System, error) {
+	opt := s.Opt
+	if workers > 0 {
+		opt.Workers = workers
+	}
+	var ts *mom.TableSet
+	if s.ZSpan > 0 {
+		ts = s.tableFor(ctx, f)
+	}
+	dense := func() (*cmplxmat.Matrix, error) {
+		s.Metrics.Counter("solve.dense_materialized").Inc()
+		sys, err := s.AssembleSurfaceCtx(ctx, surf, f, workers)
+		if err != nil {
+			return nil, err
+		}
+		return sys.Matrix, nil
+	}
+	_, sp := trace.StartSpan(ctx, "mom.fft.build")
+	sp.SetAttr("f", f)
+	start := time.Now()
+	sys := mom.NewOperatorSystem(surf, s.Mat.Params(f), opt, ts, dense)
+	elapsed := time.Since(start).Seconds()
+	if sys.FFTAdmitted() {
+		s.Metrics.Counter("solve.fft_admitted").Inc()
+		s.Metrics.Histogram("mom.fft.build_seconds").Observe(elapsed)
+		observeStage(s.Metrics, "mom.fft.build", elapsed)
+	} else {
+		s.Metrics.Counter("solve.fft_rejected").Inc()
+		if rej := sys.FFTRejection(); rej != nil {
+			sp.SetAttr("rejected", rej.Error())
+		}
+	}
+	sp.End()
+	return sys, nil
+}
+
 // SolveSystem runs the resilient fallback chain on a system assembled
 // against this solver's discretization, folding the per-stage report
 // into the solver's aggregate stats.
@@ -341,7 +409,7 @@ func (s *Solver) flatSolve(ctx context.Context, f float64) (float64, error) {
 		observeStage(s.Metrics, "flat.reference", time.Since(start).Seconds())
 		sp.End()
 	}()
-	sys, err := s.assemble(ctx, surface.NewFlat(s.L, s.M), f)
+	sys, err := s.PrepareSurfaceCtx(ctx, surface.NewFlat(s.L, s.M), f, 0)
 	if err != nil {
 		return 0, fmt.Errorf("core: flat reference at f=%g: %w", f, err)
 	}
@@ -399,7 +467,7 @@ func (s *Solver) LossFactorCtx(ctx context.Context, surf *surface.Surface, f flo
 	if err != nil {
 		return 0, err
 	}
-	sys, err := s.assemble(ctx, surf, f)
+	sys, err := s.PrepareSurfaceCtx(ctx, surf, f, 0)
 	if err != nil {
 		return 0, fmt.Errorf("core: rough assembly at f=%g: %w", f, err)
 	}

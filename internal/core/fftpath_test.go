@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"roughsim/internal/mom"
+	"roughsim/internal/rng"
+	"roughsim/internal/surface"
+	"roughsim/internal/telemetry"
+	"roughsim/internal/units"
+)
+
+// TestSolverFFTFastPath runs a production-style loss-factor solve on an
+// admissible surface and asserts the acceptance invariant of the FFT
+// fast path: both the flat reference and the rough solve win the
+// fft-gmres stage, solve.stage_win.fft-gmres accounting records them,
+// and zero dense matrices are materialized on the way — while the K
+// value matches the dense chain.
+func TestSolverFFTFastPath(t *testing.T) {
+	L := 5 * um
+	M := 12
+	f := 5 * units.GHz
+	c := surface.NewGaussianCorr(0.01*um, L/4)
+	surf := surface.NewKL(c, L, M).SampleTruncated(rng.New(17), 10)
+
+	opt := mom.Options{FFTMinCells: 1} // production gates, test-size grid
+	s, err := NewSolverTabulated(PaperMaterial(), L, M, 10*um, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	s.Metrics = reg
+
+	k, err := s.LossFactorCtx(context.Background(), surf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if got := st.StageWins[mom.StageFFT]; got != 2 { // flat reference + rough solve
+		t.Fatalf("fft-gmres wins = %d (stats %+v), want 2", got, st)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("fallbacks = %d, want 0", st.Fallbacks)
+	}
+	if got := reg.Counter("solve.stage_win." + mom.StageFFT).Value(); got != 2 {
+		t.Fatalf("solve.stage_win.fft-gmres = %d, want 2", got)
+	}
+	if got := reg.Counter("solve.dense_materialized").Value(); got != 0 {
+		t.Fatalf("dense materializations = %d, want 0", got)
+	}
+	if got := reg.Counter("solve.fft_admitted").Value(); got != 2 {
+		t.Fatalf("solve.fft_admitted = %d, want 2", got)
+	}
+
+	// The dense chain (FFT stage disabled) must agree to the model
+	// tolerance — the ratio K cancels most of the residual model error.
+	dOpt := opt
+	dOpt.FFTOrder = -1
+	ds, err := NewSolverTabulated(PaperMaterial(), L, M, 10*um, dOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, err := ds.LossFactorCtx(context.Background(), surf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev := math.Abs(k-kd) / kd; dev > 1e-6 {
+		t.Fatalf("fft-path K %g vs dense-path K %g (rel dev %g)", k, kd, dev)
+	}
+	if got := ds.Stats().StageWins[mom.StageFFT]; got != 0 {
+		t.Fatalf("disabled FFT stage still won %d solves", got)
+	}
+}
+
+// TestSolverFFTRejectionAccounting checks that an over-bound surface is
+// recorded as a skipped fft-gmres stage (not a failure or a fallback)
+// and solved through the dense chain.
+func TestSolverFFTRejectionAccounting(t *testing.T) {
+	L := 5 * um
+	M := 12
+	f := 5 * units.GHz
+	c := surface.NewGaussianCorr(0.08*um, L/4)
+	surf := surface.NewKL(c, L, M).SampleTruncated(rng.New(17), 10)
+
+	opt := mom.Options{FFTMinCells: 1}
+	s, err := NewSolverTabulated(PaperMaterial(), L, M, 10*um, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	s.Metrics = reg
+
+	if _, err := s.LossFactorCtx(context.Background(), surf, f); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	// The flat reference is admissible (zero height range) and wins the
+	// FFT stage; the rough solve is rejected and falls to dense GMRES.
+	if got := st.StageSkips[mom.StageFFT]; got != 1 {
+		t.Fatalf("fft-gmres skips = %d (stats %+v), want 1", got, st)
+	}
+	if got := st.StageFailures[mom.StageFFT]; got != 0 {
+		t.Fatalf("skipped stage recorded %d failures", got)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("gated-off FFT stage counted as %d fallbacks", st.Fallbacks)
+	}
+	if got := st.StageWins[mom.StageGMRES]; got != 1 {
+		t.Fatalf("dense gmres wins = %d, want 1", got)
+	}
+	if got := reg.Counter("solve.stage_skip." + mom.StageFFT).Value(); got != 1 {
+		t.Fatalf("solve.stage_skip.fft-gmres = %d, want 1", got)
+	}
+	if got := reg.Counter("solve.fft_rejected").Value(); got != 1 {
+		t.Fatalf("solve.fft_rejected = %d, want 1", got)
+	}
+	if got := reg.Counter("solve.dense_materialized").Value(); got != 1 {
+		t.Fatalf("dense materializations = %d, want 1", got)
+	}
+}

@@ -1,6 +1,7 @@
 package mom
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -96,7 +97,7 @@ func TestFFTOperatorSolveMatchesDense(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, _, err := op.Solve(op.RHS(p), 1e-9)
+	sol, _, err := op.Solve(context.Background(), op.RHS(p), 1e-9)
 	if err != nil {
 		t.Fatal(err)
 	}

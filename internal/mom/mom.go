@@ -29,6 +29,7 @@ import (
 
 	"roughsim/internal/cmplxmat"
 	"roughsim/internal/greens"
+	"roughsim/internal/resilience"
 	"roughsim/internal/surface"
 )
 
@@ -50,6 +51,21 @@ type Options struct {
 	NearSubdiv int
 	// Workers bounds assembly parallelism; default NumCPU.
 	Workers int
+
+	// FFTOrder is the polynomial order of the FFT-accelerated operator
+	// stage systems built with NewOperatorSystem may enter before the
+	// dense chain. 0 selects the default (6); a negative value disables
+	// the FFT stage entirely.
+	FFTOrder int
+	// FFTModelTol bounds the a-priori kernel-model error
+	// (2·zmax/ρmin)^{order+1} above which the FFT stage is skipped for a
+	// surface (the operator would converge but deviate from the dense
+	// discretization by more than this). Default 1e-6.
+	FFTModelTol float64
+	// FFTMinCells is the smallest grid (N = M² cells) for which the FFT
+	// operator's build cost pays off; smaller systems go straight to the
+	// dense chain. Default 400.
+	FFTMinCells int
 }
 
 func (o Options) withDefaults() Options {
@@ -62,15 +78,125 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.NumCPU()
 	}
+	if o.FFTOrder == 0 {
+		o.FFTOrder = 6
+	}
+	if o.FFTModelTol <= 0 {
+		o.FFTModelTol = 1e-6
+	}
+	if o.FFTMinCells <= 0 {
+		o.FFTMinCells = 400
+	}
 	return o
 }
 
-// System is the assembled dense MoM system.
+// System is the assembled dense MoM system — or, when built with
+// NewOperatorSystem, a lazily-assembled one: the FFT-accelerated
+// operator stands in for the matrix and the dense form only
+// materializes if a dense fallback stage actually runs.
 type System struct {
 	N      int // surface unknowns per field (grid cells)
 	Matrix *cmplxmat.Matrix
 	RHS    []complex128
 	Step   float64 // grid spacing h
+
+	// Lazy-assembly state (set by NewOperatorSystem; zero for the eager
+	// Assemble/AssembleTabulated paths): fft is the admitted
+	// FFT-accelerated operator, fftRej the typed rejection when the
+	// surface was not admitted, denseFn assembles the dense matrix on
+	// first demand.
+	fft       *FFTOperator
+	fftRej    error
+	denseFn   func() (*cmplxmat.Matrix, error)
+	denseOnce sync.Once
+	denseErr  error
+}
+
+// NewOperatorSystem builds a matrix-free System: the FFT-accelerated
+// operator is constructed up front when the admissibility gates pass —
+// the grid is at least Options.FFTMinCells, the a-priori kernel-model
+// error is within Options.FFTModelTol, and the height range sits inside
+// the operator's hard convergence bound — and the dense matrix is only
+// assembled (through dense, exactly once) if a dense fallback stage of
+// SolveResilient actually runs. When ts is non-nil and its Δz span
+// covers the operator's fit interval, the build reads the Green's
+// tables instead of running Ewald sums.
+//
+// A rejected surface costs nothing beyond the gate checks: the typed
+// rejection is kept and surfaces in SolveReport.Attempts as a Skipped
+// fft-gmres attempt, and the first dense stage materializes the matrix.
+func NewOperatorSystem(s *surface.Surface, p Params, opt Options, ts *TableSet, dense func() (*cmplxmat.Matrix, error)) *System {
+	opt = opt.withDefaults()
+	n := s.M * s.M
+	sys := &System{N: n, RHS: RHSVector(s, p), Step: s.Step(), denseFn: dense}
+	if opt.FFTOrder < 0 {
+		return sys
+	}
+	if n < opt.FFTMinCells {
+		sys.fftRej = resilience.Errorf(resilience.KindInvalidInput, "mom.fftop",
+			"grid of %d cells below FFT-stage threshold %d", n, opt.FFTMinCells)
+		return sys
+	}
+	zmax := surfaceZMax(s)
+	rhoMin := float64(opt.NearRadius+1) * s.Step()
+	if est := fftModelEstimate(zmax, rhoMin, opt.FFTOrder); est > opt.FFTModelTol {
+		sys.fftRej = resilience.Errorf(resilience.KindNumerical, "mom.fftop",
+			"a-priori kernel-model error %.2e exceeds tolerance %.2e", est, opt.FFTModelTol)
+		return sys
+	}
+	var op *FFTOperator
+	var err error
+	if ts != nil {
+		op, err = NewFFTOperatorTabulated(s, p, ts, opt.FFTOrder, opt)
+	}
+	if op == nil {
+		// No tables, or the tables don't cover the fit span: fall back to
+		// exact kernel evaluation (still O(N·order) Ewald sums, far below
+		// the O(N²) dense assembly).
+		op, err = NewFFTOperator(s, p, opt.FFTOrder, opt)
+	}
+	if err != nil {
+		sys.fftRej = err
+		return sys
+	}
+	sys.fft = op
+	return sys
+}
+
+// FFTAdmitted reports whether the system carries an FFT-accelerated
+// operator stage.
+func (sys *System) FFTAdmitted() bool { return sys.fft != nil }
+
+// FFTRejection returns the typed reason the FFT stage was not admitted
+// (nil when admitted, or when the system was never built for it).
+func (sys *System) FFTRejection() error { return sys.fftRej }
+
+// DenseAssembled reports whether the dense matrix exists — for a
+// lazily-built system, whether any dense fallback stage forced
+// materialization.
+func (sys *System) DenseAssembled() bool { return sys.Matrix != nil }
+
+// Materialize assembles the dense matrix of a lazily-built system
+// (no-op when it already exists). SolveResilient calls it before any
+// dense stage runs, so solves won by the FFT stage never pay the O(N²)
+// assembly.
+func (sys *System) Materialize() error {
+	if sys.Matrix != nil {
+		return nil
+	}
+	if sys.denseFn == nil {
+		return resilience.Errorf(resilience.KindInvalidInput, "mom.materialize",
+			"system has neither a dense matrix nor a dense assembler")
+	}
+	sys.denseOnce.Do(func() {
+		m, err := sys.denseFn()
+		if err != nil {
+			sys.denseErr = err
+			return
+		}
+		sys.Matrix = m
+	})
+	return sys.denseErr
 }
 
 // Assemble builds the dense 2N×2N system for a surface realization.

@@ -2,15 +2,19 @@ package mom
 
 import (
 	"context"
+	"time"
 
 	"roughsim/internal/cmplxmat"
 	"roughsim/internal/resilience"
+	"roughsim/internal/telemetry"
+	"roughsim/internal/trace"
 )
 
 // Stage names of the resilient solve chain, in fallback order. They are
 // also the op names the fault injector matches on.
 const (
-	StageGMRES        = "gmres"        // matrix-free restarted GMRES
+	StageFFT          = "fft-gmres"    // FFT-accelerated operator, preconditioned GMRES (matrix-free)
+	StageGMRES        = "gmres"        // matrix-free restarted GMRES on the dense matvec
 	StageGMRESPrecond = "gmres-jacobi" // restarted GMRES, Jacobi-preconditioned, tighter budget
 	StageBiCGSTAB     = "bicgstab"     // stabilized bi-conjugate gradients
 	StageDenseLU      = "lu"           // dense LU with partial pivoting
@@ -30,6 +34,10 @@ type SolveOptions struct {
 	// Key identifies this solve to the fault injector (e.g. a sample
 	// index).
 	Key uint64
+	// Metrics, when non-nil, receives the chain's stage timings
+	// (mom.fft.solve_seconds for the FFT stage). The registry is
+	// nil-safe, so leaving it unset disables instrumentation.
+	Metrics *telemetry.Registry
 }
 
 // SolveReport is the per-stage accounting of one resilient solve.
@@ -41,17 +49,27 @@ type SolveReport struct {
 }
 
 // SolveResilient solves the system through the fallback chain
-// GMRES → Jacobi-preconditioned GMRES → BiCGSTAB → dense LU, verifying
-// the true residual (and finiteness) of every stage's candidate before
-// accepting it, and recording per-stage accounting on the returned
-// Solution. Cancellation is honored between stages.
+// fft-gmres → GMRES → Jacobi-preconditioned GMRES → BiCGSTAB → dense
+// LU, verifying the true residual (and finiteness) of every stage's
+// candidate before accepting it, and recording per-stage accounting on
+// the returned Solution. Cancellation is honored between stages (and,
+// for the FFT stage, between GMRES restarts).
+//
+// The fft-gmres stage only exists for systems built with
+// NewOperatorSystem whose surface passed the admissibility gates; its
+// candidate is verified through the operator's own MatVec, so a solve
+// it wins never touches (or assembles) the dense matrix. Dense stages
+// of a lazily-built system materialize the matrix on first entry. A
+// gate rejection is prepended to the report as a Skipped fft-gmres
+// attempt: observable, but never retried and never counted as an
+// execution failure.
 func (sys *System) SolveResilient(ctx context.Context, opt SolveOptions) (*Solution, error) {
 	n2 := 2 * sys.N
 	tol := opt.Tol
 	if tol <= 0 {
 		tol = 1e-8
 	}
-	mv := func(y, x []complex128) {
+	denseMV := func(y, x []complex128) {
 		copy(y, sys.Matrix.MulVec(x))
 	}
 
@@ -59,9 +77,10 @@ func (sys *System) SolveResilient(ctx context.Context, opt SolveOptions) (*Solut
 	report := &SolveReport{}
 
 	// verify accepts a candidate only if it is finite and its true
-	// residual against the original system is within 10× the target —
-	// the same drift guard GMRES applies internally.
-	verify := func(cand []complex128) error {
+	// residual — against the matvec of the stage family that produced it
+	// — is within 10× the target, the same drift guard GMRES applies
+	// internally.
+	verify := func(cand []complex128, mv cmplxmat.MatVec) error {
 		if cmplxmat.HasNonFinite(cand) {
 			return resilience.Errorf(resilience.KindNumerical, "mom.verify",
 				"non-finite entries in candidate solution")
@@ -99,7 +118,7 @@ func (sys *System) SolveResilient(ctx context.Context, opt SolveOptions) (*Solut
 			dinv[i] = 1 / d
 		}
 		pmv := func(y, xx []complex128) {
-			mv(y, xx)
+			denseMV(y, xx)
 			for i := range y {
 				y[i] *= dinv[i]
 			}
@@ -111,42 +130,82 @@ func (sys *System) SolveResilient(ctx context.Context, opt SolveOptions) (*Solut
 		return pmv, pb
 	}
 
-	stages := []resilience.Stage{
-		{Name: StageGMRES, Run: func(context.Context) error {
-			c, _, err := cmplxmat.GMRES(n2, mv, sys.RHS, nil,
+	// dense wraps a dense-chain stage so a lazily-built system assembles
+	// its matrix on first entry (no-op for the eager paths).
+	dense := func(run func(context.Context) error) func(context.Context) error {
+		return func(c context.Context) error {
+			if err := sys.Materialize(); err != nil {
+				return err
+			}
+			return run(c)
+		}
+	}
+
+	var stages []resilience.Stage
+	if sys.fft != nil {
+		op := sys.fft
+		stages = append(stages, resilience.Stage{Name: StageFFT, Run: func(c context.Context) error {
+			_, sp := trace.StartSpan(c, "mom.fft.solve")
+			start := time.Now()
+			cand, _, err := op.solveVec(c, sys.RHS, tol)
+			if err == nil {
+				err = verify(cand, op.MatVec)
+			}
+			opt.Metrics.Histogram("mom.fft.solve_seconds").Observe(time.Since(start).Seconds())
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+			return err
+		}})
+	}
+	stages = append(stages,
+		resilience.Stage{Name: StageGMRES, Run: dense(func(context.Context) error {
+			c, _, err := cmplxmat.GMRES(n2, denseMV, sys.RHS, nil,
 				cmplxmat.IterOpts{Tol: tol, Restart: 60})
 			if err != nil {
 				return err
 			}
-			return verify(c)
-		}},
-		{Name: StageGMRESPrecond, Run: func(context.Context) error {
+			return verify(c, denseMV)
+		})},
+		resilience.Stage{Name: StageGMRESPrecond, Run: dense(func(context.Context) error {
 			pmv, pb := precond()
 			c, _, err := cmplxmat.GMRES(n2, pmv, pb, nil,
 				cmplxmat.IterOpts{Tol: tol / 10, Restart: 120, MaxIter: 30 * n2})
 			if err != nil {
 				return err
 			}
-			return verify(c)
-		}},
-		{Name: StageBiCGSTAB, Run: func(context.Context) error {
-			c, _, err := cmplxmat.BiCGSTAB(n2, mv, sys.RHS, nil,
+			return verify(c, denseMV)
+		})},
+		resilience.Stage{Name: StageBiCGSTAB, Run: dense(func(context.Context) error {
+			c, _, err := cmplxmat.BiCGSTAB(n2, denseMV, sys.RHS, nil,
 				cmplxmat.IterOpts{Tol: tol, MaxIter: 30 * n2})
 			if err != nil {
 				return err
 			}
-			return verify(c)
-		}},
-		{Name: StageDenseLU, Run: func(context.Context) error {
+			return verify(c, denseMV)
+		})},
+		resilience.Stage{Name: StageDenseLU, Run: dense(func(context.Context) error {
 			c, err := cmplxmat.SolveDense(sys.Matrix, sys.RHS)
 			if err != nil {
 				return err
 			}
-			return verify(c)
-		}},
-	}
+			return verify(c, denseMV)
+		})},
+	)
 
 	rep, err := opt.Policy.Execute(ctx, "mom.solve", opt.Injector, opt.Key, stages)
+	if sys.fft == nil && sys.fftRej != nil {
+		// The FFT stage was gated off for this surface: record the typed
+		// rejection for observability without ever having run (or
+		// retried) the stage.
+		rep.Attempts = append([]resilience.Attempt{{
+			Stage:   StageFFT,
+			Kind:    resilience.Classify(sys.fftRej),
+			Err:     sys.fftRej,
+			Skipped: true,
+		}}, rep.Attempts...)
+	}
 	report.Report = rep
 	if err != nil {
 		return nil, err

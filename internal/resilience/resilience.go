@@ -133,6 +133,12 @@ type Attempt struct {
 	Kind     Kind  // classification when Err != nil
 	Err      error // nil on success
 	Injected bool  // the failure came from the fault injector
+	// Skipped marks a stage that was never executed because a
+	// deterministic admissibility check rejected it up front (e.g. the
+	// FFT-operator stage on an over-bound surface). Skipped attempts are
+	// recorded for observability but are not execution failures: retry
+	// budget is never spent on them.
+	Skipped bool
 }
 
 // Report is the per-stage accounting of one chain execution.
@@ -141,11 +147,16 @@ type Report struct {
 	Winner   string // name of the stage that succeeded; "" if none
 }
 
-// Failed returns the number of failed attempts.
+// Failed returns the number of failed execution attempts. Skipped
+// attempts (stages gated off by a deterministic admissibility check)
+// carry their rejection error for observability but never ran, so they
+// are not counted.
 func (r *Report) Failed() int {
-	n := len(r.Attempts)
-	if r.Winner != "" {
-		n--
+	n := 0
+	for _, a := range r.Attempts {
+		if a.Err != nil && !a.Skipped {
+			n++
+		}
 	}
 	return n
 }

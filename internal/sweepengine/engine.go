@@ -239,9 +239,9 @@ func (e *Engine) anchorCount(fmin, fmax float64) int {
 }
 
 // exactSweep evaluates every (frequency, node) unit through the
-// unmodified assemble-and-solve path — bitwise identical to the
-// point-at-a-time baseline — scheduling the independent units across
-// the worker budget. Returns vals[freq][node]. Flat nodes cost nothing
+// operator prepare-and-solve path — the same path the point-at-a-time
+// baseline takes, so results stay bitwise identical to it — scheduling
+// the independent units across the worker budget. Returns vals[freq][node]. Flat nodes cost nothing
 // (K ≡ 1), checkpointed nodes load their completed column instead of
 // solving, and each remaining node's column is checkpointed the moment
 // its last frequency lands (the per-node atomic countdown orders every
@@ -289,7 +289,12 @@ func (e *Engine) exactSweep(ctx context.Context, freqs []float64, surfs []*surfa
 		if err != nil {
 			return err
 		}
-		sys, err := e.Solver.AssembleSurfaceCtx(ctx, surfs[j], f, inner)
+		// Anchor solves route through the operator path: an admissible
+		// surface wins the fft-gmres stage without ever assembling the
+		// dense matrix; a rejected one materializes it lazily inside the
+		// chain. Checkpoint semantics are unchanged either way — the K
+		// column is computed from the solution, not the matrix.
+		sys, err := e.Solver.PrepareSurfaceCtx(ctx, surfs[j], f, inner)
 		if err != nil {
 			return err
 		}

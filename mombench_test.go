@@ -1,0 +1,147 @@
+// Benchmark recorder for the FFT-accelerated MoM solve chain against
+// the dense chain, at matched accuracy: one rough-surface solve per
+// grid size, dense = tabulated assembly + resilient chain (FFT stage
+// disabled by construction), FFT = operator build + fft-gmres stage.
+// Set ROUGHSIM_MOM_BENCH_OUT to write BENCH_mom.json (CI runs grids
+// 20,40 as a smoke check; override with ROUGHSIM_MOM_BENCH_GRIDS, e.g.
+// "20,40,80" for the committed paper-resolution record).
+package roughsim
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"roughsim/internal/cmplxmat"
+	"roughsim/internal/core"
+	"roughsim/internal/mom"
+	"roughsim/internal/rng"
+	"roughsim/internal/surface"
+	"roughsim/internal/units"
+)
+
+func TestRecordMoMBench(t *testing.T) {
+	out := os.Getenv("ROUGHSIM_MOM_BENCH_OUT")
+	if out == "" {
+		t.Skip("set ROUGHSIM_MOM_BENCH_OUT to record the MoM solve benchmark")
+	}
+	grids := []int{20, 40}
+	if g := os.Getenv("ROUGHSIM_MOM_BENCH_GRIDS"); g != "" {
+		grids = grids[:0]
+		for _, s := range strings.Split(g, ",") {
+			m, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				t.Fatalf("bad ROUGHSIM_MOM_BENCH_GRIDS entry %q: %v", s, err)
+			}
+			grids = append(grids, m)
+		}
+	}
+
+	const L = 5e-6
+	f := 5 * units.GHz
+	p := core.PaperMaterial().Params(f)
+	ctx := context.Background()
+
+	type gridRec struct {
+		M                    int     `json:"m"`
+		Unknowns             int     `json:"unknowns"`
+		SigmaNM              float64 `json:"sigma_nm"`
+		FFTBuildSeconds      float64 `json:"fft_build_seconds"`
+		FFTSolveSeconds      float64 `json:"fft_solve_seconds"`
+		DenseAssembleSeconds float64 `json:"dense_assemble_seconds"`
+		DenseSolveSeconds    float64 `json:"dense_solve_seconds"`
+		Speedup              float64 `json:"speedup_end_to_end"`
+		RelDev               float64 `json:"rel_dev"`
+		DenseWinner          string  `json:"dense_winner"`
+	}
+	var recs []gridRec
+
+	for _, M := range grids {
+		h := L / float64(M)
+		// σ small enough that the order-6 kernel model sits well inside
+		// FFTModelTol (a-priori error ≈ (2·zmax/3h)^7 with zmax ≈ 3σ).
+		sigma := 0.06 * h
+		surf := surface.NewKL(surface.NewGaussianCorr(sigma, L/4), L, M).
+			SampleTruncated(rng.New(17), 10)
+		opt := mom.Options{}
+		ts := mom.NewTableSet(p, L, M, h, opt)
+
+		// FFT path: operator build + fft-gmres solve, dense assembly
+		// forbidden (the closure failing the test proves the fast path
+		// never materializes the matrix).
+		t0 := time.Now()
+		sys := mom.NewOperatorSystem(surf, p, opt, ts, func() (*cmplxmat.Matrix, error) {
+			t.Fatalf("M=%d: FFT path materialized the dense matrix", M)
+			return nil, nil
+		})
+		buildSec := time.Since(t0).Seconds()
+		if !sys.FFTAdmitted() {
+			t.Fatalf("M=%d: surface not admitted: %v", M, sys.FFTRejection())
+		}
+		t1 := time.Now()
+		solFFT, err := sys.SolveResilient(ctx, mom.SolveOptions{})
+		if err != nil {
+			t.Fatalf("M=%d: fft solve: %v", M, err)
+		}
+		fftSolveSec := time.Since(t1).Seconds()
+		if solFFT.Report.Winner != mom.StageFFT {
+			t.Fatalf("M=%d: winner %q, want fft-gmres", M, solFFT.Report.Winner)
+		}
+
+		// Dense chain at the same accuracy (eagerly assembled system has
+		// no FFT stage).
+		t2 := time.Now()
+		dsys, err := mom.AssembleTabulated(surf, p, ts, opt)
+		if err != nil {
+			t.Fatalf("M=%d: dense assembly: %v", M, err)
+		}
+		assembleSec := time.Since(t2).Seconds()
+		t3 := time.Now()
+		solDense, err := dsys.SolveResilient(ctx, mom.SolveOptions{})
+		if err != nil {
+			t.Fatalf("M=%d: dense solve: %v", M, err)
+		}
+		denseSolveSec := time.Since(t3).Seconds()
+
+		relDev := math.Abs(solFFT.Pabs-solDense.Pabs) / math.Abs(solDense.Pabs)
+		rec := gridRec{
+			M: M, Unknowns: 2 * M * M, SigmaNM: sigma * 1e9,
+			FFTBuildSeconds: buildSec, FFTSolveSeconds: fftSolveSec,
+			DenseAssembleSeconds: assembleSec, DenseSolveSeconds: denseSolveSec,
+			Speedup: (assembleSec + denseSolveSec) / (buildSec + fftSolveSec),
+			RelDev:  relDev, DenseWinner: solDense.Report.Winner,
+		}
+		recs = append(recs, rec)
+		t.Logf("M=%d: fft %.3fs+%.3fs vs dense %.3fs+%.3fs (%.1fx), rel dev %.2g",
+			M, buildSec, fftSolveSec, assembleSec, denseSolveSec, rec.Speedup, relDev)
+
+		if relDev > 1e-6 {
+			t.Fatalf("M=%d: FFT deviates from dense by %g (> 1e-6)", M, relDev)
+		}
+		// Lenient floor for noisy CI runners; the committed BENCH_mom.json
+		// records the real measurement.
+		if M >= 40 && rec.Speedup < 2 {
+			t.Fatalf("M=%d: FFT path not faster: %.2fx", M, rec.Speedup)
+		}
+	}
+
+	doc := map[string]any{
+		"freq_ghz": f / units.GHz,
+		"patch_um": L * 1e6,
+		"cpus":     runtime.NumCPU(),
+		"grids":    recs,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
