@@ -14,6 +14,25 @@
 //	          [-campaign-cells 1] [-max-campaign-cells 512]
 //	          [-surrogate-cap 64] [-surrogate-dir ""]
 //	          [-trace-buffer 128] [-pprof] [-log-level info]
+//	          [-role single] [-coordinator ""] [-worker-id ""]
+//	          [-claim-poll 500ms] [-lease-ttl 30s] [-max-task-losses 3]
+//	          [-self ""] [-peers ""]
+//
+// Distributed mode (-role) splits the daemon into a compute plane:
+//
+//	-role coordinator   serve the API plus the claim/renew/complete
+//	                    lease endpoints; sweeps fan their per-node
+//	                    columns out to any connected workers (and solve
+//	                    locally whatever the pool never delivers);
+//	-role worker        run no HTTP server at all — pull column tasks
+//	                    from -coordinator, solve, push results back,
+//	                    drain gracefully on SIGTERM;
+//	-role single        (default) a plain single-process daemon.
+//
+// -self/-peers build a consistent-hash ring over shard base URLs:
+// sweep submissions and /k queries whose content address another shard
+// owns are 307-redirected there, so each key's caches stay warm on
+// exactly one shard.
 //
 // Parameter campaigns (POST /v1/campaigns) expand a grid over the
 // surface process into deduplicated sweep cells that run through the
@@ -77,6 +96,14 @@ func main() {
 		traceBuffer  = flag.Int("trace-buffer", 0, "retained job traces (default 128)")
 		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		role         = flag.String("role", "single", "process role: single, coordinator, or worker")
+		coordinator  = flag.String("coordinator", "", "coordinator base URL (worker role)")
+		workerID     = flag.String("worker-id", "", "worker identity in leases and telemetry (default worker-<hex>)")
+		claimPoll    = flag.Duration("claim-poll", 500*time.Millisecond, "worker idle claim interval")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "coordinator lease TTL before a claimed column re-queues (default 30s)")
+		maxLosses    = flag.Int("max-task-losses", 0, "worker losses one column survives before local fallback (default 3)")
+		selfURL      = flag.String("self", "", "this shard's own base URL (required with -peers)")
+		peerList     = flag.String("peers", "", "comma-separated shard base URLs (including -self) for consistent-hash routing")
 	)
 	flag.Parse()
 
@@ -86,6 +113,10 @@ func main() {
 		os.Exit(2)
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if *role == "worker" {
+		os.Exit(runWorker(log, *coordinator, *workerID, *claimPoll, *drainTimeout))
+	}
 
 	var chaos *resilience.Injector
 	if *chaosSpec != "" {
@@ -115,6 +146,7 @@ func main() {
 		TraceCapacity:    *traceBuffer,
 		EnablePprof:      *enablePprof,
 		Log:              log,
+		Cluster:          clusterConfig(*role, *selfURL, *peerList, *leaseTTL, *maxLosses),
 	})
 	if err != nil {
 		log.Error("startup failed", "err", err)

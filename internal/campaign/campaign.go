@@ -400,8 +400,17 @@ loop:
 }
 
 // submitWithRetry parks on ErrBusy (bounded queue backpressure) until
-// the submission lands or the campaign is canceled.
+// the submission lands or the campaign is canceled. One timer serves
+// every park: a fresh time.After per iteration cannot be stopped, so a
+// long backpressure episode would pile up unreclaimed timers until each
+// fires on its own schedule.
 func (c *Campaign) submitWithRetry(cfg roughsim.SweepConfig) (Handle, error) {
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		h, err := c.eng.opt.Runner.Submit(cfg)
 		if err == nil {
@@ -410,8 +419,15 @@ func (c *Campaign) submitWithRetry(cfg roughsim.SweepConfig) (Handle, error) {
 		if !errors.Is(err, ErrBusy) {
 			return nil, err
 		}
+		if timer == nil {
+			timer = time.NewTimer(c.eng.opt.SubmitRetry)
+		} else {
+			// Reset is safe here: the previous park drained the channel
+			// (the <-timer.C branch is the only way back to this point).
+			timer.Reset(c.eng.opt.SubmitRetry)
+		}
 		select {
-		case <-time.After(c.eng.opt.SubmitRetry):
+		case <-timer.C:
 		case <-c.cancelCh:
 			return nil, resilience.Errorf(resilience.KindCanceled, "campaign", "campaign canceled")
 		}

@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"roughsim"
+	"roughsim/internal/telemetry"
+)
+
+// busyRunner returns a preallocated ErrBusy n times, then accepts. It
+// deliberately allocates nothing per call so the regression test below
+// measures submitWithRetry's own allocations, not the stub's.
+type busyRunner struct {
+	mu   sync.Mutex
+	left int
+	busy error
+	h    Handle
+}
+
+func (r *busyRunner) Submit(cfg roughsim.SweepConfig) (Handle, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.left > 0 {
+		r.left--
+		return nil, r.busy
+	}
+	return r.h, nil
+}
+
+func (r *busyRunner) Cached(roughsim.SweepConfig) (*roughsim.SweepResult, bool) { return nil, false }
+
+// Regression test for the retry-park timer: submitWithRetry used to
+// allocate a fresh, unstoppable time.After timer per ErrBusy iteration,
+// so a long backpressure episode accumulated thousands of live runtime
+// timers. With one reused timer, parking N times must cost far fewer
+// than N allocations.
+func TestSubmitWithRetryReusesTimer(t *testing.T) {
+	const parks = 2000
+	h := &fakeHandle{done: make(chan struct{})}
+	close(h.done)
+	r := &busyRunner{left: parks, busy: errors.Join(ErrBusy), h: h}
+	eng := NewEngine(Options{
+		Runner: r, MaxConcurrent: 1, Metrics: telemetry.NewRegistry(),
+		SubmitRetry: 10 * time.Microsecond,
+	})
+	c := &Campaign{eng: eng, cancelCh: make(chan struct{})}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := c.submitWithRetry(roughsim.SweepConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+
+	// One reused timer: well under one allocation per park. The old
+	// time.After path allocated a timer plus channel per iteration
+	// (≥ 2·parks mallocs), so the bound separates the behaviors with a
+	// wide margin in both directions.
+	if delta := after.Mallocs - before.Mallocs; delta > parks {
+		t.Fatalf("submitWithRetry allocated %d times across %d parks; timer is not being reused", delta, parks)
+	}
+}
+
+// Cancellation must still win a park instantly with the reused timer.
+func TestSubmitWithRetryCancelDuringPark(t *testing.T) {
+	r := &busyRunner{left: 1 << 30, busy: errors.Join(ErrBusy)}
+	eng := NewEngine(Options{
+		Runner: r, MaxConcurrent: 1, Metrics: telemetry.NewRegistry(),
+		SubmitRetry: time.Hour, // a park the test would never outlive
+	})
+	c := &Campaign{eng: eng, cancelCh: make(chan struct{})}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.submitWithRetry(roughsim.SweepConfig{})
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(c.cancelCh)
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("canceled park returned no error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not interrupt the retry park")
+	}
+}

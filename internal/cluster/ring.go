@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"sort"
+)
+
+// Ring is a consistent-hash ring over shard base URLs. Each member owns
+// the keys that hash onto its virtual nodes, so /k queries and sweep
+// submissions for one content address always land on the same shard —
+// the one whose caches are warm for it — and membership changes move
+// only ~1/n of the key space.
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+const virtualNodes = 64
+
+// NewRing builds a ring over members (order-insensitive; duplicates are
+// folded). An empty member list yields a nil ring, whose Owner returns
+// "".
+func NewRing(members []string) *Ring {
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.members = append(r.members, m)
+		for v := 0; v < virtualNodes; v++ {
+			r.points = append(r.points, ringPoint{mix(fnv1a(m + "#" + itoa(v))), m})
+		}
+	}
+	if len(r.members) == 0 {
+		return nil
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	sort.Strings(r.members)
+	return r
+}
+
+// Owner returns the member owning key (the first virtual node at or
+// clockwise after the key's hash).
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := mix(fnv1a(key))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the ring's distinct members, sorted.
+func (r *Ring) Members() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.members...)
+}
+
+// fnv1a is the 64-bit FNV-1a hash — the same seed-free family the
+// resilience jitter and job-ID hashing use, so placement is
+// deterministic across processes and restarts.
+func fnv1a(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix is a 64-bit avalanche finalizer (the murmur3/splitmix constants).
+// FNV-1a alone clusters hashes of near-identical strings — virtual
+// nodes of one member can then bunch into a thin arc and own almost no
+// keyspace — so every ring position passes through a full avalanche.
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// itoa avoids pulling strconv into the hot hash loop's call graph.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

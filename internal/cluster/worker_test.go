@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"roughsim/internal/resilience"
+)
+
+// fakeCoordinator is an httptest-backed claim/renew/complete endpoint
+// set with a scripted task list.
+type fakeCoordinator struct {
+	mu        sync.Mutex
+	tasks     []Task
+	token     string
+	completes []CompleteRequest
+	renews    int
+	leaves    int
+	staleAll  bool // reject every renew/complete with 409
+}
+
+func (f *fakeCoordinator) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+ClaimPath, func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if len(f.tasks) == 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		task := f.tasks[0]
+		f.tasks = f.tasks[1:]
+		json.NewEncoder(w).Encode(ClaimResponse{Task: task, Token: f.token, TTLMs: 200})
+	})
+	mux.HandleFunc("POST "+RenewPath, func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		f.renews++
+		if f.staleAll {
+			w.WriteHeader(http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST "+CompletePath, func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		body, _ := io.ReadAll(r.Body)
+		json.Unmarshal(body, &req)
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.staleAll {
+			w.WriteHeader(http.StatusConflict)
+			return
+		}
+		f.completes = append(f.completes, req)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST "+LeavePath, func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		f.leaves++
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func runTestWorker(t *testing.T, fc *fakeCoordinator, solve func(context.Context, Task) ([]float64, error), wait func() bool) {
+	t.Helper()
+	srv := httptest.NewServer(fc.handler())
+	defer srv.Close()
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: srv.URL,
+		ID:          "w-test",
+		Poll:        10 * time.Millisecond,
+		Grace:       time.Second,
+		Solve:       solve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for !wait() {
+		if time.Now().After(deadline) {
+			cancel()
+			<-done
+			t.Fatal("worker never reached the expected state")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain")
+	}
+}
+
+func TestWorkerSolvesAndCompletes(t *testing.T) {
+	fc := &fakeCoordinator{tasks: []Task{{ID: "t1", Node: 3}}, token: "tok"}
+	runTestWorker(t, fc,
+		func(ctx context.Context, task Task) ([]float64, error) {
+			return []float64{float64(task.Node), 0.5}, nil
+		},
+		func() bool {
+			fc.mu.Lock()
+			defer fc.mu.Unlock()
+			return len(fc.completes) == 1
+		})
+	got := fc.completes[0]
+	if got.TaskID != "t1" || got.Token != "tok" || got.Worker != "w-test" {
+		t.Fatalf("bad completion %+v", got)
+	}
+	if got.Error != "" || len(got.Column) != 2 || got.Column[0] != 3 {
+		t.Fatalf("bad column %+v", got)
+	}
+	if fc.leaves != 1 {
+		t.Fatalf("worker left %d times, want 1 graceful leave", fc.leaves)
+	}
+}
+
+func TestWorkerReportsClassifiedError(t *testing.T) {
+	fc := &fakeCoordinator{tasks: []Task{{ID: "t1"}}, token: "tok"}
+	runTestWorker(t, fc,
+		func(ctx context.Context, task Task) ([]float64, error) {
+			return nil, resilience.Errorf(resilience.KindSingular, "test", "singular system")
+		},
+		func() bool {
+			fc.mu.Lock()
+			defer fc.mu.Unlock()
+			return len(fc.completes) == 1
+		})
+	got := fc.completes[0]
+	if got.Error == "" || got.Kind != resilience.KindSingular.String() {
+		t.Fatalf("error not classified on the wire: %+v", got)
+	}
+	if len(got.Column) != 0 {
+		t.Fatalf("failed completion carries a column: %+v", got)
+	}
+}
+
+// A lease the coordinator no longer honors cancels the solve: the
+// renewal heartbeat sees 409 and tears the run context down.
+func TestWorkerStaleLeaseCancelsSolve(t *testing.T) {
+	fc := &fakeCoordinator{tasks: []Task{{ID: "t1"}}, token: "tok", staleAll: true}
+	canceled := make(chan struct{})
+	runTestWorker(t, fc,
+		func(ctx context.Context, task Task) ([]float64, error) {
+			select {
+			case <-ctx.Done():
+				close(canceled)
+				return nil, ctx.Err()
+			case <-time.After(30 * time.Second):
+				return []float64{1}, nil
+			}
+		},
+		func() bool {
+			select {
+			case <-canceled:
+				return true
+			default:
+				return false
+			}
+		})
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if len(fc.completes) != 0 {
+		t.Fatalf("stale solve still reported a completion: %+v", fc.completes)
+	}
+}
+
+func TestWorkerConfigValidation(t *testing.T) {
+	if _, err := NewWorker(WorkerConfig{Solve: func(context.Context, Task) ([]float64, error) { return nil, nil }}); err == nil {
+		t.Fatal("missing coordinator URL accepted")
+	}
+	if _, err := NewWorker(WorkerConfig{Coordinator: "http://x"}); err == nil {
+		t.Fatal("missing Solve accepted")
+	}
+}
+
+func TestClientStatuses(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+ClaimPath, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST "+RenewPath, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := NewClient(srv.URL, time.Second, "w")
+	task, _, _, err := c.Claim(context.Background(), "w")
+	if err != nil || task != nil {
+		t.Fatalf("204 claim: task=%v err=%v, want nil/nil", task, err)
+	}
+	if err := c.Renew(context.Background(), "t", "tok"); !errors.Is(err, ErrStale) {
+		t.Fatalf("409 renew returned %v, want ErrStale", err)
+	}
+}

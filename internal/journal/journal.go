@@ -63,6 +63,16 @@ const (
 	// as canceled, so they stay pending and resume on restart.
 	OpCanceled Op = "canceled"
 
+	// OpLeaseGranted: a cluster worker claimed one column task of the job
+	// (Anchor is the column's node index, Worker the claimant, Key the
+	// task's content address). Observability only: the authoritative
+	// column durability is the checkpoint cache's anchor-done record.
+	OpLeaseGranted Op = "lease-granted"
+	// OpLeaseExpired: a granted lease lapsed without completing and its
+	// task re-queued — the journaled trace of a worker loss. Fold counts
+	// these per job as Pending.LeaseLosses.
+	OpLeaseExpired Op = "lease-expired"
+
 	// OpCampaignSubmitted: a campaign was accepted; JobID carries the
 	// campaign's content-addressed ID and Config its CampaignConfig, so
 	// a replay restarts the study under the ID clients already hold.
@@ -103,6 +113,8 @@ type Record struct {
 	Config json.RawMessage `json:"config,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Kind   string          `json:"kind,omitempty"` // resilience.Kind label
+	// Worker labels cluster lease records with the worker involved.
+	Worker string `json:"worker,omitempty"`
 }
 
 // WithAnchor returns a copy of r carrying node as its anchor index
@@ -128,6 +140,9 @@ type Pending struct {
 	// AnchorsDone counts the anchor checkpoints journaled for the job —
 	// observability for "how much of the sweep survives".
 	AnchorsDone int
+	// LeaseLosses counts the lease expiries journaled for the job —
+	// observability for "how many workers died under this sweep".
+	LeaseLosses int
 }
 
 // PendingCampaign is one unfinished campaign reconstructed by replay.
@@ -403,6 +418,10 @@ func Fold(recs []Record) []Pending {
 		case OpAnchorDone:
 			if p, ok := byID[r.JobID]; ok {
 				p.AnchorsDone++
+			}
+		case OpLeaseExpired:
+			if p, ok := byID[r.JobID]; ok {
+				p.LeaseLosses++
 			}
 		case OpCompleted, OpFailed, OpCanceled:
 			delete(byID, r.JobID)

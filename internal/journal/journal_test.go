@@ -222,6 +222,56 @@ func TestFoldSemantics(t *testing.T) {
 	}
 }
 
+// Lease lifecycle records fold into loss observability without changing
+// which jobs replay, and the Worker label survives the wire round-trip.
+func TestFoldLeaseRecords(t *testing.T) {
+	recs := []Record{
+		{Op: OpSubmitted, JobID: "a", Key: "ka"},
+		Record{Op: OpLeaseGranted, JobID: "a", Key: "col-0", Worker: "w1"}.WithAnchor(0),
+		Record{Op: OpLeaseExpired, JobID: "a", Key: "col-0", Worker: "w1"}.WithAnchor(0),
+		Record{Op: OpLeaseGranted, JobID: "a", Key: "col-0", Worker: "w2"}.WithAnchor(0),
+		Record{Op: OpLeaseExpired, JobID: "ghost", Worker: "wx"}.WithAnchor(1), // no submit: ignored
+		{Op: OpSubmitted, JobID: "b", Key: "kb"},
+		Record{Op: OpLeaseExpired, JobID: "b", Worker: "w1"}.WithAnchor(-1),
+		{Op: OpCompleted, JobID: "b"},
+	}
+	pending := Fold(recs)
+	if len(pending) != 1 || pending[0].JobID != "a" {
+		t.Fatalf("pending = %+v, want only a (lease records must not resurrect b)", pending)
+	}
+	if pending[0].LeaseLosses != 1 {
+		t.Fatalf("job a folded %d lease losses, want 1", pending[0].LeaseLosses)
+	}
+
+	// The Worker field and flat-reference anchor survive an append/replay
+	// round-trip through the file format.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	j, _, err := Open(path, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpSubmitted, JobID: "a", Key: "ka"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpLeaseExpired, JobID: "a", Key: "col", Worker: "w9"}.WithAnchor(-1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	recs2, torn, err := readAll(path)
+	if err != nil || torn {
+		t.Fatalf("readAll: torn=%v err=%v", torn, err)
+	}
+	last := recs2[len(recs2)-1]
+	if last.Op != OpLeaseExpired || last.Worker != "w9" || last.AnchorNode() != -1 {
+		t.Fatalf("lease record round-tripped as %+v", last)
+	}
+	rep := Fold(recs2)
+	if len(rep) != 1 || rep[0].LeaseLosses != 1 {
+		t.Fatalf("replayed fold = %+v", rep)
+	}
+}
+
 func TestFoldCampaignsSemantics(t *testing.T) {
 	cfg := json.RawMessage(`{"band":{"fmin_hz":1e9,"fmax_hz":2e9}}`)
 	recs := []Record{

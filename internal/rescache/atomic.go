@@ -37,5 +37,17 @@ func WriteFileAtomic(dir, name string, b []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, name))
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// The rename itself lives in the directory: until the directory
+	// entry is durable, a power loss can forget the whole file even
+	// though its data blocks were fsynced. Best-effort (some filesystems
+	// refuse directory fsync) — the data is already intact either way.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }

@@ -268,6 +268,21 @@ func TestWriteFileAtomic(t *testing.T) {
 	if len(ents) != 1 {
 		t.Fatalf("directory holds %d entries, want only the final file", len(ents))
 	}
+	// A failed rename (target directory vanished underneath the name)
+	// must clean its temp file up instead of leaving droppings behind.
+	if err := WriteFileAtomic(dir, filepath.Join("nosuch", "k.json"), []byte("v3")); err == nil {
+		t.Fatal("rename into a missing subdirectory should fail")
+	}
+	ents, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("failed rename left %d entries (want only the final file)", len(ents))
+	}
+	if b, err := os.ReadFile(filepath.Join(dir, "k.json")); err != nil || string(b) != "v2" {
+		t.Fatalf("failed write corrupted the durable entry: %q, %v", b, err)
+	}
 }
 
 func TestWaiterContextCancellation(t *testing.T) {

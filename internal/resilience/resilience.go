@@ -64,6 +64,29 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind is the inverse of Kind.String: it decodes the accounting
+// label back into the kind, so a classification can cross a process
+// boundary (journal records, the distributed tier's wire protocol).
+// Unrecognized labels decode as KindUnknown.
+func ParseKind(s string) Kind {
+	switch s {
+	case "convergence":
+		return KindConvergence
+	case "singular":
+		return KindSingular
+	case "invalid-input":
+		return KindInvalidInput
+	case "numerical":
+		return KindNumerical
+	case "panic":
+		return KindPanic
+	case "canceled":
+		return KindCanceled
+	default:
+		return KindUnknown
+	}
+}
+
 // Error is a classified failure. It wraps the underlying cause so that
 // errors.Is / errors.As keep working through the classification.
 type Error struct {

@@ -119,6 +119,11 @@ func spawnHelper(t *testing.T, dir, chaosSpec string) (*exec.Cmd, string) {
 	}
 }
 
+// testHTTPClient bounds every test request: http.DefaultClient has no
+// timeout, so a wedged helper process would hang the whole test run
+// instead of failing one request.
+var testHTTPClient = &http.Client{Timeout: 60 * time.Second}
+
 func httpJSON(t *testing.T, method, url string, body []byte) (int, http.Header, []byte) {
 	t.Helper()
 	var rd *bytes.Reader
@@ -131,7 +136,7 @@ func httpJSON(t *testing.T, method, url string, body []byte) (int, http.Header, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := testHTTPClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}

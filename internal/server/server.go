@@ -57,6 +57,7 @@ import (
 
 	"roughsim"
 	"roughsim/internal/campaign"
+	"roughsim/internal/cluster"
 	"roughsim/internal/jobs"
 	"roughsim/internal/journal"
 	"roughsim/internal/rescache"
@@ -116,6 +117,9 @@ type Config struct {
 	// Chaos, when non-nil, injects deterministic faults (crash points)
 	// for resilience testing. Never set it in production.
 	Chaos *resilience.Injector
+	// Cluster wires the distributed compute plane (see ClusterConfig);
+	// the zero value keeps the server single-process.
+	Cluster ClusterConfig
 	// ReadHeaderTimeout/IdleTimeout harden the HTTP server against slow
 	// or abandoned connections (defaults 10s / 2m).
 	ReadHeaderTimeout time.Duration
@@ -251,6 +255,12 @@ type Server struct {
 	// campCellSeq orders campaign cell completions server-wide (the
 	// campaign.cell chaos occurrence key).
 	campCellSeq atomic.Uint64
+
+	// leases is the coordinator-side claim/renew/complete ledger of the
+	// distributed compute plane (nil unless Role is coordinator); ring
+	// the consistent-hash shard router (nil unless peers are configured).
+	leases *jobs.LeaseTable
+	ring   *cluster.Ring
 }
 
 // sweepFlight is one in-flight sweep computation.
@@ -279,6 +289,9 @@ func pointCodec() rescache.Codec {
 // New builds the server (starting its worker pool).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Cluster.validate(); err != nil {
+		return nil, err
+	}
 	queue, err := jobs.NewQueue(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.Metrics)
 	if err != nil {
 		return nil, err
@@ -341,6 +354,10 @@ func New(cfg Config) (*Server, error) {
 			Terminal: s.campaignTerminal,
 		},
 	})
+	// The compute plane (lease table, cluster endpoints, shard ring) must
+	// exist before journal replay re-enqueues jobs: a replayed sweep may
+	// reach the dispatcher as soon as a queue worker picks it up.
+	s.initCluster()
 	if cfg.JournalPath != "" {
 		jnl, rep, err := journal.Open(cfg.JournalPath, cfg.Metrics)
 		if err != nil {
@@ -400,6 +417,9 @@ func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
 func (s *Server) Shutdown(ctx context.Context) error {
 	qerr := s.queue.Drain(ctx)
 	herr := s.http.Shutdown(ctx)
+	// Stop the lease expiry scanner after the drain: in-flight sweeps may
+	// still be collecting remote columns until the drain completes.
+	s.leases.Close()
 	// The journal closes only after the drain: terminal records for jobs
 	// the drain completed must land before the file does.
 	if s.journal != nil {
@@ -586,6 +606,15 @@ func (s *Server) computeSweep(ctx context.Context, cfg roughsim.SweepConfig, pro
 		if meta, ok := jobs.MetaFrom(ctx); ok {
 			jobID = meta.JobID
 		}
+		// With live cluster workers, fan the missing columns out first:
+		// every column that comes back lands in the checkpoint store, so
+		// the engine run below loads it as a checkpoint hit and solves
+		// only what the workers never delivered.
+		if s.dispatchable() {
+			if derr := s.dispatchColumns(ctx, jobID, ckptCfg, sim); derr != nil {
+				return nil, fmt.Errorf("server: sweep: %w", derr)
+			}
+		}
 		pts, err := sim.SweepPointsCheckpointed(ctx, mf, func(done, mt int) {
 			if mt > 0 {
 				progress(cached+done*len(missing)/mt, total)
@@ -632,6 +661,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	cfg = cfg.WithDefaults()
 	if err := s.validate(cfg); err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Shard routing: identical sweeps must land on the shard whose
+	// caches are warm for them (307 preserves method and body).
+	if s.routeAway(w, r, cfg.Key().String()) {
 		return
 	}
 	if retry, err := s.admit(len(cfg.Freqs)); err != nil {

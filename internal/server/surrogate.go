@@ -172,6 +172,11 @@ func (s *Server) handleK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Shard routing: the owning shard holds the admitted surrogate and
+	// the warm exact-point cache for this key.
+	if s.routeAway(w, r, key.String()) {
+		return
+	}
 	f, err := strconv.ParseFloat(r.URL.Query().Get("f"), 64)
 	if err != nil || !(f > 0) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid frequency %q", r.URL.Query().Get("f")))

@@ -1,0 +1,201 @@
+package sweepengine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"roughsim/internal/resilience"
+	"roughsim/internal/units"
+)
+
+// memCkpt is an in-memory Checkpoint recording every saved column.
+type memCkpt struct {
+	mu   sync.Mutex
+	cols map[int][]float64
+}
+
+func newMemCkpt() *memCkpt { return &memCkpt{cols: map[int][]float64{}} }
+
+func (c *memCkpt) Load(node int) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	col, ok := c.cols[node]
+	return col, ok
+}
+
+func (c *memCkpt) Save(node int, col []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cols[node] = append([]float64(nil), col...)
+}
+
+// TestColumnMatchesRunExactPath: on the exact path, every column
+// computed in isolation must be bitwise identical to the column Run
+// checkpoints for the same node — that identity is what lets a remote
+// worker stand in for a local engine worker.
+func TestColumnMatchesRunExactPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	eng, _ := testEngine(t)
+	freqs := []float64{4 * units.GHz, 5 * units.GHz}
+
+	plan, err := eng.PlanColumns(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Interp {
+		t.Fatal("short sweep planned the interpolated path")
+	}
+	if len(plan.Nodes) == 0 {
+		t.Fatal("no non-flat nodes planned")
+	}
+
+	ck := newMemCkpt()
+	eng.Checkpoint = ck
+	res, err := eng.Run(context.Background(), freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Checkpoint = nil
+
+	if _, ok := ck.cols[FlatRefNode]; ok {
+		t.Fatal("exact path checkpointed a flat-reference vector")
+	}
+	for _, node := range plan.Nodes {
+		want, ok := ck.cols[node]
+		if !ok {
+			t.Fatalf("Run never checkpointed planned node %d", node)
+		}
+		got, err := eng.Column(context.Background(), freqs, node, nil)
+		if err != nil {
+			t.Fatalf("Column(%d): %v", node, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("node %d: column length %d vs %d", node, len(got), len(want))
+		}
+		for fi := range got {
+			if got[fi] != want[fi] {
+				t.Fatalf("node %d f[%d]: Column %v != Run checkpoint %v (not bitwise)",
+					node, fi, got[fi], want[fi])
+			}
+		}
+	}
+
+	// Round-trip: a fresh run fed only Column outputs through the
+	// checkpoint must reproduce Run's result bitwise without solving.
+	fed := newMemCkpt()
+	for _, node := range plan.Nodes {
+		col, err := eng.Column(context.Background(), freqs, node, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed.Save(node, col)
+	}
+	eng.Checkpoint = fed
+	res2, err := eng.Run(context.Background(), freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi := range freqs {
+		if res2.Mean[fi] != res.Mean[fi] {
+			t.Fatalf("f[%d]: resumed-from-columns mean %v != direct %v", fi, res2.Mean[fi], res.Mean[fi])
+		}
+	}
+}
+
+// TestColumnMatchesRunInterpPath: same bitwise identity on the
+// anchor-interpolated path, including the flat-reference unit every
+// node column divides by.
+func TestColumnMatchesRunInterpPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver run")
+	}
+	eng, _ := testEngine(t)
+	eng.Anchors = 5
+	freqs := make([]float64, 8)
+	for i := range freqs {
+		freqs[i] = (4 + 2*float64(i)/7) * units.GHz
+	}
+
+	plan, err := eng.PlanColumns(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Interp || plan.Anchors != 5 {
+		t.Fatalf("plan = %+v, want interpolated with 5 anchors", plan)
+	}
+
+	ck := newMemCkpt()
+	eng.Checkpoint = ck
+	if _, err := eng.Run(context.Background(), freqs); err != nil {
+		t.Fatal(err)
+	}
+	eng.Checkpoint = nil
+
+	wantPs, ok := ck.cols[FlatRefNode]
+	if !ok {
+		t.Fatal("interpolated run never checkpointed the flat reference")
+	}
+	ps, err := eng.Column(context.Background(), freqs, FlatRefNode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi := range ps {
+		if ps[fi] != wantPs[fi] {
+			t.Fatalf("flat ref f[%d]: %v != %v (not bitwise)", fi, ps[fi], wantPs[fi])
+		}
+	}
+	for _, node := range plan.Nodes {
+		want, ok := ck.cols[node]
+		if !ok {
+			t.Fatalf("Run never checkpointed planned node %d", node)
+		}
+		got, err := eng.Column(context.Background(), freqs, node, ps)
+		if err != nil {
+			t.Fatalf("Column(%d): %v", node, err)
+		}
+		for fi := range got {
+			if got[fi] != want[fi] {
+				t.Fatalf("node %d f[%d]: Column %v != Run checkpoint %v (not bitwise)",
+					node, fi, got[fi], want[fi])
+			}
+		}
+	}
+}
+
+func TestColumnValidation(t *testing.T) {
+	eng, _ := testEngine(t)
+	shortFreqs := []float64{4 * units.GHz, 5 * units.GHz}
+	// Flat reference on the exact path is meaningless.
+	if _, err := eng.Column(context.Background(), shortFreqs, FlatRefNode, nil); resilience.Classify(err) != resilience.KindInvalidInput {
+		t.Fatalf("flat ref on exact path: %v", err)
+	}
+	if _, err := eng.Column(context.Background(), shortFreqs, 1<<20, nil); resilience.Classify(err) != resilience.KindInvalidInput {
+		t.Fatalf("node out of range: %v", err)
+	}
+	if _, err := eng.Column(context.Background(), nil, 0, nil); resilience.Classify(err) != resilience.KindInvalidInput {
+		t.Fatalf("empty freqs: %v", err)
+	}
+	if _, err := (&Engine{}).PlanColumns([]float64{1e9}); resilience.Classify(err) != resilience.KindInvalidInput {
+		t.Fatalf("missing solver: %v", err)
+	}
+
+	// Interpolated node column without its flat reference.
+	eng.Anchors = 3
+	freqs := make([]float64, 8)
+	for i := range freqs {
+		freqs[i] = (4 + 2*float64(i)/7) * units.GHz
+	}
+	plan, err := eng.PlanColumns(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Interp || len(plan.Nodes) == 0 {
+		t.Fatalf("plan = %+v, want interpolated with nodes", plan)
+	}
+	if _, err := eng.Column(context.Background(), freqs, plan.Nodes[0], nil); resilience.Classify(err) != resilience.KindInvalidInput {
+		t.Fatalf("interp column without ps: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+#!/bin/sh
+# Distributed smoke test: boot a coordinator and two worker processes,
+# kill one worker with SIGKILL while it holds a column lease, and
+# require the loss-tolerance contract of the compute plane:
+#   - the killed worker's lease expires and its column re-queues to the
+#     surviving worker (lease.requeued proves it);
+#   - the job completes under its original ID;
+#   - the result is byte-identical to a plain single-process run.
+set -eu
+
+PORT="${SMOKE_PORT:-18091}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+BIN="$WORK/roughsimd"
+STATE="$WORK/state"
+mkdir -p "$STATE"
+
+go build -o "$BIN" ./cmd/roughsimd
+
+# Ten frequencies make each column slow enough (~1s) that the kill
+# reliably lands while the victim's lease is held.
+SWEEP='{
+  "surface":  {"cf": "gaussian", "sigma": 4e-7, "eta": 1e-6},
+  "accuracy": {"grid": 8, "dim": 2},
+  "freqs_hz": [4e9, 4.4e9, 4.9e9, 5.3e9, 5.8e9, 6.2e9, 6.7e9, 7.1e9, 7.6e9, 8e9]
+}'
+
+COORD_PID=""
+W1_PID=""
+W2_PID=""
+cleanup() {
+    for P in "$W1_PID" "$W2_PID" "$COORD_PID"; do
+        [ -n "$P" ] && kill "$P" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_healthy() {
+    i=0
+    until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -le 50 ] || { echo "FAIL: coordinator did not come up"; exit 1; }
+        sleep 0.2
+    done
+}
+
+wait_succeeded() { # $1 = job id
+    i=0
+    while :; do
+        STATUS=$(curl -sf "$BASE/v1/sweeps/$1" | sed -n 's/.*"status"[: ]*"\([^"]*\)".*/\1/p' | head -n 1)
+        case "$STATUS" in
+        succeeded) break ;;
+        failed | canceled) echo "FAIL: job $1 ended $STATUS"; exit 1 ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -le 600 ] || { echo "FAIL: job $1 did not finish"; exit 1; }
+        sleep 0.2
+    done
+}
+
+counter() { # $1 = unlabeled counter name; reads JSON /metrics
+    curl -sf "$BASE/metrics" |
+        sed -n 's/.*"'"$1"'"[: ]*\([0-9][0-9]*\).*/\1/p' | head -n 1
+}
+
+# --- Coordinator + two workers ------------------------------------------
+"$BIN" -addr "127.0.0.1:$PORT" -role coordinator -workers 2 -lease-ttl 2s \
+    -journal "$STATE/journal.wal" -cache-dir "$STATE/cache" &
+COORD_PID=$!
+wait_healthy
+
+"$BIN" -role worker -coordinator "$BASE" -worker-id w-survivor -claim-poll 100ms &
+W1_PID=$!
+"$BIN" -role worker -coordinator "$BASE" -worker-id w-victim -claim-poll 100ms &
+W2_PID=$!
+
+# Both workers must be live before submitting so dispatch is remote.
+i=0
+until [ "$(curl -sf "$BASE/metrics" | sed -n 's/.*"cluster\.workers"[: ]*\([0-9][0-9]*\).*/\1/p' | head -n 1)" = "2" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "FAIL: workers never registered"; exit 1; }
+    sleep 0.1
+done
+
+JOB=$(curl -sf -X POST "$BASE/v1/sweeps" -d "$SWEEP")
+ID=$(printf '%s' "$JOB" | sed -n 's/.*"id"[: ]*"\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "$ID" ] || { echo "FAIL: no job id in $JOB"; exit 1; }
+
+# Kill -9 the victim once it provably holds a lease.
+i=0
+while :; do
+    CLAIMS=$(curl -sf "$BASE/metrics" |
+        sed -n 's/.*"lease\.claims{worker=\\"w-victim\\"}"[: ]*\([0-9][0-9]*\).*/\1/p' | head -n 1)
+    [ -n "$CLAIMS" ] && [ "$CLAIMS" -ge 1 ] && break
+    i=$((i + 1))
+    [ "$i" -le 200 ] || { echo "FAIL: victim never claimed a column"; exit 1; }
+    sleep 0.05
+done
+kill -9 "$W2_PID"
+wait "$W2_PID" 2>/dev/null || true
+W2_PID=""
+echo "distributed: victim worker killed -9 while holding a lease (job $ID)"
+
+# The lease expires (TTL 2s), the column re-queues, the survivor
+# finishes the job under its original ID.
+wait_succeeded "$ID"
+REQUEUED=$(counter "lease.requeued")
+REMOTE=$(counter "lease.columns_remote")
+[ -n "$REQUEUED" ] && [ "$REQUEUED" -ge 1 ] ||
+    { echo "FAIL: lease.requeued=$REQUEUED, want >= 1 (victim loss not re-queued)"; exit 1; }
+[ -n "$REMOTE" ] && [ "$REMOTE" -ge 1 ] ||
+    { echo "FAIL: lease.columns_remote=$REMOTE, want >= 1"; exit 1; }
+DISTRIBUTED="$WORK/distributed.json"
+curl -sf "$BASE/v1/sweeps/$ID/result" >"$DISTRIBUTED"
+
+kill "$W1_PID" && wait "$W1_PID" 2>/dev/null || true
+W1_PID=""
+kill "$COORD_PID" && wait "$COORD_PID" 2>/dev/null || true
+COORD_PID=""
+
+# --- Single-process reference, bitwise compare --------------------------
+REF_STATE="$WORK/ref-state"
+mkdir -p "$REF_STATE"
+"$BIN" -addr "127.0.0.1:$PORT" -workers 2 -cache-dir "$REF_STATE/cache" &
+COORD_PID=$!
+wait_healthy
+JOB=$(curl -sf -X POST "$BASE/v1/sweeps" -d "$SWEEP")
+REF_ID=$(printf '%s' "$JOB" | sed -n 's/.*"id"[: ]*"\([^"]*\)".*/\1/p' | head -n 1)
+wait_succeeded "$REF_ID"
+REFERENCE="$WORK/reference.json"
+curl -sf "$BASE/v1/sweeps/$REF_ID/result" >"$REFERENCE"
+
+cmp -s "$DISTRIBUTED" "$REFERENCE" ||
+    { echo "FAIL: distributed result differs from single-process run"; diff "$DISTRIBUTED" "$REFERENCE" || true; exit 1; }
+
+echo "OK: distributed smoke passed (kill -9 -> lease expiry -> re-queue, requeued=$REQUEUED remote=$REMOTE, bitwise-identical result)"

@@ -113,6 +113,24 @@ func (s *Simulation) SweepPointsCheckpointed(ctx context.Context, freqs []float6
 	return pts, nil
 }
 
+// PlanSweepColumns enumerates the independent column units of a sweep
+// over freqs — the distributed tier's work decomposition. See
+// sweepengine.ColumnPlan.
+func (s *Simulation) PlanSweepColumns(freqs []float64) (*sweepengine.ColumnPlan, error) {
+	return s.engine().PlanColumns(freqs)
+}
+
+// SweepColumn computes one column unit of the sweep over freqs: the K
+// column of collocation node (or, for sweepengine.FlatRefNode, the
+// interpolated path's flat-reference vector, which node columns then
+// require as ps). The column is bitwise identical to the one a full
+// engine run would checkpoint, so a remotely computed column fed back
+// through the Checkpoint medium preserves single-process results
+// exactly.
+func (s *Simulation) SweepColumn(ctx context.Context, freqs []float64, node int, ps []float64) ([]float64, error) {
+	return s.engine().Column(ctx, freqs, node, ps)
+}
+
 // RunSweepBatched computes the SweepResult over freqs through the
 // batched sweep engine. For narrow or short sweeps (where the engine's
 // exact path runs) the K values are bitwise identical to RunSweep; for
