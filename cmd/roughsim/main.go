@@ -9,7 +9,7 @@
 //	         [-eta2 0.53] [-fmin 1] [-fmax 9] [-steps 9] [-grid 16] [-dim 16]
 //	         [-timeout 0] [-json] [-csv out.csv] [-trace]
 //	         [-surrogate-out model.json] [-surrogate-in model.json]
-//	         [-campaign grid.json]
+//	         [-campaign grid.json] [-sparams req.json -s2p out.s2p]
 //
 // Lengths are in micrometers, frequencies in GHz. The sweep honors
 // Ctrl-C and the -timeout budget: cancellation stops the run promptly
@@ -33,6 +33,15 @@
 // -csv, as CSV with one row per (cell, frequency) carrying the
 // SPM2/HBM/empirical comparison columns. -csv also works for a single
 // sweep — both shapes share one encoder.
+//
+// -sparams generates a validated two-port Touchstone artifact from a
+// JSON request file (the roughsim.SParamConfig schema roughsimd's
+// POST /v1/sparams accepts): K(f) resolves through the exact solver —
+// or through a fitted surrogate model given with -surrogate-in — then
+// the causal roughness-corrected line cascades to S-parameters and must
+// pass the passivity and causality gates. The artifact JSON lands on
+// stdout; -s2p additionally writes the raw .s2p body to a file (- for
+// stdout, replacing the JSON).
 package main
 
 import (
@@ -70,6 +79,8 @@ func main() {
 		surOut  = flag.String("surrogate-out", "", "fit a K(f) surrogate over [fmin, fmax] and write the model to this file (no sweep)")
 		surIn   = flag.String("surrogate-in", "", "serve the sweep from a fitted surrogate model file (no solver)")
 		campIn  = flag.String("campaign", "", "run a parameter campaign from this JSON grid file (roughsim.CampaignConfig) instead of a single sweep")
+		sparIn  = flag.String("sparams", "", "generate a gated Touchstone artifact from this JSON request file (roughsim.SParamConfig) instead of sweeping")
+		s2pOut  = flag.String("s2p", "", "with -sparams: write the raw .s2p body to this file; - for stdout (suppresses the artifact JSON)")
 		csvOut  = flag.String("csv", "", "also write the result as CSV (one row per cell and frequency, with SPM2/HBM/empirical comparison columns) to this file; - for stdout")
 	)
 	flag.Parse()
@@ -79,6 +90,16 @@ func main() {
 
 	if *campIn != "" {
 		runCampaign(ctxRoot, *campIn, *csvOut, *asJSON)
+		return
+	}
+	if *sparIn != "" {
+		ctx := ctxRoot
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		runSParams(ctx, *sparIn, *s2pOut, *surIn)
 		return
 	}
 
@@ -207,6 +228,77 @@ func main() {
 	if st := sim.SolveStats(); st.Fallbacks > 0 {
 		fmt.Fprintf(os.Stderr, "roughsim: %d of %d solves needed the fallback chain (wins: %v)\n",
 			st.Fallbacks, st.Solves, st.StageWins)
+	}
+}
+
+// runSParams generates one gated Touchstone artifact from a JSON
+// request file. K(f) resolves through the exact solver, or through a
+// surrogate model file when -surrogate-in is also given (the CLI twin
+// of roughsimd's surrogate fast path).
+func runSParams(ctx context.Context, path, s2pPath, surPath string) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roughsim:", err)
+		os.Exit(1)
+	}
+	var cfg roughsim.SParamConfig
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "roughsim: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	cfg = cfg.WithDefaults()
+
+	var art *roughsim.SParamArtifact
+	if surPath != "" {
+		sb, err := os.ReadFile(surPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roughsim:", err)
+			os.Exit(1)
+		}
+		sur, err := roughsim.DecodeSurrogate(sb)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roughsim:", err)
+			os.Exit(1)
+		}
+		art, err = roughsim.GenerateSParamsWith(ctx, cfg, sur.Resolver())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roughsim: sparams:", err)
+			os.Exit(1)
+		}
+	} else {
+		art, err = roughsim.GenerateSParams(ctx, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roughsim: sparams:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "roughsim: artifact %s… (%d points %g–%g GHz, K via %s): %s\n",
+		art.Key[:12], art.Points, art.FMinHz/1e9, art.FMaxHz/1e9, art.Source, art.Gates)
+	if s2pPath != "" {
+		out := os.Stdout
+		if s2pPath != "-" {
+			f, err := os.Create(s2pPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "roughsim:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if _, err := fmt.Fprint(out, art.Touchstone); err != nil {
+			fmt.Fprintln(os.Stderr, "roughsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		fmt.Fprintln(os.Stderr, "roughsim:", err)
+		os.Exit(1)
 	}
 }
 

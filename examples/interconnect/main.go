@@ -62,11 +62,18 @@ func main() {
 	fmt.Printf("rough foil: σ=1 μm, η=1.5 μm\n\n")
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "f (GHz)\tsmooth IL (dB)\tempirical IL (dB)\tSWM IL (dB)\tSWM K(f)")
+	il := func(f float64, kr txline.RoughnessModel) float64 {
+		v, err := txline.InsertionLossDB(line, length, f, z0, kr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
 	for _, fG := range freqs {
 		f := fG * 1e9
-		s := txline.InsertionLossDB(line, length, f, z0, smooth)
-		e := txline.InsertionLossDB(line, length, f, z0, empirical)
-		w := txline.InsertionLossDB(line, length, f, z0, swm)
+		s := il(f, smooth)
+		e := il(f, empirical)
+		w := il(f, swm)
 		fmt.Fprintf(tw, "%.3g\t%.2f\t%.2f\t%.2f\t%.3f\n", fG, s, e, w, swmK[fG])
 	}
 	if err := tw.Flush(); err != nil {

@@ -1,7 +1,9 @@
-// S-parameter export example: build a causal roughness-corrected model
-// of a 10 cm microstrip and write industry-standard Touchstone (.s2p)
-// files for the smooth and rough cases, ready for any SI tool or
-// channel simulator.
+// S-parameter service example: boot an in-process roughsimd, submit a
+// roughness-corrected microstrip over 1–9 GHz to POST /v1/sparams, poll
+// the generation job, and download the gated Touchstone artifact — the
+// same request/response cycle an SI tool integration would run against
+// a deployed daemon. A second identical POST shows the content-addressed
+// store at work: it answers 200 immediately with zero solver work.
 //
 // Run with:
 //
@@ -9,69 +11,130 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
 	"roughsim"
-	"roughsim/internal/txline"
+	"roughsim/internal/server"
 )
 
 func main() {
-	line := txline.Microstrip{
-		Width:    300e-6,
-		Height:   170e-6,
-		EpsR:     4.1,
-		TanDelta: 0.018,
-		Rho:      roughsim.CopperSiO2().Rho,
-	}
-	const length = 0.10
-	const z0 = 50.0
-
-	// Frequency grid: 0.1–40 GHz (fine enough for causal group delay).
-	var freqs []float64
-	for fG := 0.1; fG <= 40; fG += 0.1 {
-		freqs = append(freqs, fG*1e9)
-	}
-
-	// Roughness profile from the empirical formula (σ = 1.2 μm), turned
-	// into a causal complex correction via the Kramers–Kronig transform.
-	mat := roughsim.CopperSiO2()
-	ks := make([]float64, len(freqs))
-	for i, f := range freqs {
-		ks[i] = roughsim.EmpiricalLossFactor(1.2e-6, mat.SkinDepth(f))
-	}
-	causal, err := txline.NewCausalRoughness(freqs, ks)
+	srv, err := server.New(server.Config{Workers: 2, QueueDepth: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	base := "http://" + l.Addr().String()
 
-	write := func(name string, kr txline.RoughnessModel) {
-		sweep := txline.SweepSParams(line, length, z0, freqs, kr)
-		if p := txline.PassivityCheck(sweep); p > 1+1e-9 {
-			log.Fatalf("%s: non-passive sweep (%g)", name, p)
+	// A 2 cm FR4 microstrip with a Gaussian roughness process; the
+	// coarse accuracy keeps the exact K(f) resolution to a few seconds.
+	cfg := roughsim.SParamConfig{
+		Spec: roughsim.SurfaceSpec{Corr: roughsim.GaussianCF, Sigma: 0.4e-6, Eta: 1e-6},
+		Acc:  roughsim.Accuracy{GridPerSide: 8, StochasticDim: 2},
+		Line: roughsim.LineGeometry{
+			WidthM:   300e-6,
+			HeightM:  170e-6,
+			EpsR:     4.1,
+			TanDelta: 0.018,
+		},
+		LengthM: 0.02,
+		FMinHz:  1e9,
+		FMaxHz:  9e9,
+		Points:  9,
+	}
+	body, _ := json.Marshal(cfg)
+
+	resp, err := http.Post(base+"/v1/sparams", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var acc struct {
+		Key string `json:"key"`
+		Job struct {
+			ID string `json:"id"`
+		} `json:"job"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted: artifact %s…, job %s\n", acc.Key[:12], acc.Job.ID)
+
+	// Poll the generation job until terminal.
+	for {
+		var info struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
 		}
-		f, err := os.Create(name)
-		if err != nil {
-			log.Fatal(err)
+		get(base+"/v1/sparams/"+acc.Job.ID, func(r io.Reader) error {
+			return json.NewDecoder(r).Decode(&info)
+		})
+		switch info.Status {
+		case "succeeded":
+		case "failed", "canceled":
+			log.Fatalf("generation %s: %s", info.Status, info.Error)
+		default:
+			time.Sleep(100 * time.Millisecond)
+			continue
 		}
-		if err := txline.WriteTouchstone(f, z0, sweep); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s (%d points, max power gain %.6f)\n",
-			name, len(sweep), txline.PassivityCheck(sweep))
+		break
 	}
 
-	write("line_smooth.s2p", txline.Smooth)
-	write("line_rough.s2p", func(f float64) float64 { return causal.K(f) })
+	// The artifact JSON carries provenance and the gate report…
+	var art roughsim.SParamArtifact
+	get(base+"/v1/sparams/"+acc.Key, func(r io.Reader) error {
+		return json.NewDecoder(r).Decode(&art)
+	})
+	fmt.Printf("artifact: %d points %g–%g GHz, K via %s\n", art.Points, art.FMinHz/1e9, art.FMaxHz/1e9, art.Source)
+	fmt.Printf("gates: %s\n", art.Gates)
 
-	// Show the causal correction at a few frequencies.
-	fmt.Println("\ncausal roughness correction Kc(f) = K + jX:")
-	for _, fG := range []float64{1, 5, 10, 20} {
-		kc := causal.Factor(fG * 1e9)
-		fmt.Printf("  %5.1f GHz: K = %.4f, X = %+.4f\n", fG, real(kc), imag(kc))
+	// …and ?format=s2p serves the raw Touchstone body for any SI tool.
+	get(base+"/v1/sparams/"+acc.Key+"?format=s2p", func(r io.Reader) error {
+		f, err := os.Create("line_rough.s2p")
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(f, r); err != nil {
+			return err
+		}
+		return f.Close()
+	})
+	fmt.Println("wrote line_rough.s2p")
+
+	// An identical re-POST is a pure store read: 200, not 202.
+	resp, err = http.Post(base+"/v1/sparams", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	fmt.Printf("re-POST of the same request: HTTP %d (served from the artifact store)\n", resp.StatusCode)
+}
+
+// get fetches a URL and hands the body to read, failing the example on
+// any error.
+func get(url string, read func(io.Reader) error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		log.Fatalf("GET %s: %d %s", url, resp.StatusCode, b)
+	}
+	if err := read(resp.Body); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -89,6 +89,13 @@ const (
 	OpCampaignCompleted Op = "campaign-completed"
 	OpCampaignFailed    Op = "campaign-failed"
 	OpCampaignCanceled  Op = "campaign-canceled"
+
+	// OpSparamsSubmitted: an S-parameter artifact job was accepted;
+	// Config carries the SParamConfig JSON. It shares the sweep job
+	// lifecycle (started / terminal ops under the same JobID) but is
+	// kept a distinct submission op so replay re-dispatches it to the
+	// S-parameter runner, not the sweep runner.
+	OpSparamsSubmitted Op = "sparams-submitted"
 )
 
 // SchemaVersion tags every record; bump it when the meaning of a field
@@ -132,6 +139,10 @@ func (r Record) AnchorNode() int { return r.Anchor - 2 }
 type Pending struct {
 	JobID string
 	Key   string
+	// Op is the submission op that created the job (OpSubmitted or
+	// OpSparamsSubmitted) — replay dispatches on it, and compact
+	// re-emits it so the distinction survives restarts.
+	Op Op
 	// Config is the submitted payload, verbatim.
 	Config json.RawMessage
 	// Attempts is how many times a worker started the job before the
@@ -288,9 +299,13 @@ func (j *Journal) compact(rep Replay) error {
 	var frames [][]byte
 	for _, p := range rep.Jobs {
 		seq++
+		op := p.Op
+		if op == "" {
+			op = OpSubmitted
+		}
 		frame, err := encodeFrame(Record{
 			Schema: SchemaVersion, Seq: seq, Unix: now,
-			Op: OpSubmitted, JobID: p.JobID, Key: p.Key,
+			Op: op, JobID: p.JobID, Key: p.Key,
 			Attempt: p.Attempts, Config: p.Config,
 		})
 		if err != nil {
@@ -396,20 +411,20 @@ func ReadAll(path string) ([]Record, error) {
 }
 
 // Fold reduces a record sequence to the jobs still pending at its end:
-// submitted creates a job, started advances its attempt count,
-// anchor-done counts a persisted checkpoint, and every terminal op
-// (completed, failed, canceled) removes it. Order of first submission
-// is preserved.
+// a submission op (submitted, sparams-submitted) creates a job, started
+// advances its attempt count, anchor-done counts a persisted
+// checkpoint, and every terminal op (completed, failed, canceled)
+// removes it. Order of first submission is preserved.
 func Fold(recs []Record) []Pending {
 	byID := map[string]*Pending{}
 	var order []string
 	for _, r := range recs {
 		switch r.Op {
-		case OpSubmitted:
+		case OpSubmitted, OpSparamsSubmitted:
 			if _, ok := byID[r.JobID]; ok {
 				continue
 			}
-			byID[r.JobID] = &Pending{JobID: r.JobID, Key: r.Key, Config: r.Config, Attempts: r.Attempt}
+			byID[r.JobID] = &Pending{JobID: r.JobID, Key: r.Key, Op: r.Op, Config: r.Config, Attempts: r.Attempt}
 			order = append(order, r.JobID)
 		case OpStarted:
 			if p, ok := byID[r.JobID]; ok && r.Attempt > p.Attempts {

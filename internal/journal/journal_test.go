@@ -362,3 +362,41 @@ func TestAppendAfterCloseFails(t *testing.T) {
 		t.Fatal("append after close succeeded")
 	}
 }
+
+func TestSparamsSubmissionOpSurvivesCompaction(t *testing.T) {
+	// A sparams job must replay to the S-parameter runner, not the sweep
+	// runner — so the submission op has to survive fold AND the compact
+	// rewrite (which re-emits one submission record per pending job).
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openT(t, path)
+	cfg := json.RawMessage(`{"fmin_hz":1e9}`)
+	if err := j.Append(Record{Op: OpSparamsSubmitted, JobID: "sp", Key: "k-sp", Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpSubmitted, JobID: "sw", Key: "k-sw", Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpStarted, JobID: "sp", Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Two reopen cycles: the second replays records produced by compact,
+	// catching any hardcoded op in the rewrite path.
+	for cycle := 1; cycle <= 2; cycle++ {
+		_, pending := openT(t, path)
+		if len(pending) != 2 {
+			t.Fatalf("cycle %d: pending = %d, want 2", cycle, len(pending))
+		}
+		sp, sw := pending[0], pending[1]
+		if sp.JobID != "sp" || sp.Op != OpSparamsSubmitted {
+			t.Fatalf("cycle %d: sparams job replayed as %+v", cycle, sp)
+		}
+		if sp.Attempts != 1 || string(sp.Config) != string(cfg) {
+			t.Fatalf("cycle %d: sparams job lost state: %+v", cycle, sp)
+		}
+		if sw.JobID != "sw" || sw.Op != OpSubmitted {
+			t.Fatalf("cycle %d: sweep job replayed as %+v", cycle, sw)
+		}
+	}
+}

@@ -103,6 +103,10 @@ func (s *Server) submitSweep(cfg roughsim.SweepConfig) (*jobs.Job, error) {
 // nothing.
 func (s *Server) replayPending(rep journal.Replay) {
 	for _, p := range rep.Jobs {
+		if p.Op == journal.OpSparamsSubmitted {
+			s.replaySParams(p)
+			continue
+		}
 		var cfg roughsim.SweepConfig
 		if err := json.Unmarshal(p.Config, &cfg); err != nil {
 			s.log.Warn("journal replay: undecodable config", "job", p.JobID, "err", err)
@@ -183,6 +187,9 @@ func (s *Server) observeTerminal(j *jobs.Job) {
 	if info.Status == jobs.StatusCanceled && s.queue.Draining() {
 		return
 	}
+	// An S-parameter generation job's in-flight tracking ends with the
+	// job, whatever the outcome.
+	s.clearSParams(j.ID)
 	// Campaign cell jobs carry no per-job journal records (the campaign
 	// record is their durability); breaker accounting and checkpoint
 	// cleanup still apply.

@@ -20,6 +20,12 @@
 //	GET  /v1/campaigns/{id}/events  SSE aggregate progress until terminal
 //	GET  /v1/campaigns/{id}/result  combined artifact (JSON; CSV with
 //	                           ?format=csv or Accept: text/csv)
+//	POST /v1/sparams           submit a roughsim.SParamConfig; 200 + artifact
+//	                           on a store hit, else 202 + generation job
+//	GET  /v1/sparams/{id}      artifact by content address (JSON; raw .s2p
+//	                           with ?format=s2p or Accept:
+//	                           application/x-touchstone) or job status
+//	GET  /v1/sparams/{id}/stream  SSE progress of a generation job
 //	POST /v1/surrogates        fit + validate + admit a broadband K(f) model
 //	GET  /v1/surrogates        list surrogate admission records
 //	GET  /v1/surrogates/{key}  one admission record
@@ -261,6 +267,17 @@ type Server struct {
 	// the consistent-hash shard router (nil unless peers are configured).
 	leases *jobs.LeaseTable
 	ring   *cluster.Ring
+
+	// sparArts is the content-addressed store of validated S-parameter
+	// artifacts (POST /v1/sparams); sparInFlight/sparJobs track live
+	// generation jobs both ways (address → job for request coalescing,
+	// job → address for terminal cleanup); sparSeq orders artifact
+	// persists server-wide (the sparams.artifact chaos occurrence key).
+	sparArts     *rescache.Cache
+	sparMu       sync.Mutex
+	sparInFlight map[rescache.Key]string
+	sparJobs     map[string]rescache.Key
+	sparSeq      atomic.Uint64
 }
 
 // sweepFlight is one in-flight sweep computation.
@@ -319,23 +336,39 @@ func New(cfg Config) (*Server, error) {
 		queue.Drain(context.Background())
 		return nil, err
 	}
+	// The artifact store follows the same tiering as results: memory
+	// always, disk under CacheDir/sparams so admitted artifacts survive
+	// restarts (and crash replays find pre-crash artifacts).
+	sparOpt := rescache.Options{Metrics: cfg.Metrics}
+	if cfg.CacheDir != "" {
+		sparOpt.Dir = filepath.Join(cfg.CacheDir, "sparams")
+		sparOpt.Codec = artifactCodec()
+	}
+	sparArts, err := rescache.New(cfg.CacheSize, sparOpt)
+	if err != nil {
+		queue.Drain(context.Background())
+		return nil, err
+	}
 	s := &Server{
-		cfg:         cfg,
-		queue:       queue,
-		cache:       cache,
-		metrics:     cfg.Metrics,
-		tracer:      trace.NewRecorder(cfg.TraceCapacity),
-		log:         cfg.Log,
-		mux:         http.NewServeMux(),
-		tables:      roughsim.NewTableCache(cfg.TableCacheSize, cfg.Metrics),
-		surrogates:  surrogate.NewRegistry(cfg.SurrogateCap, cfg.SurrogateDir, cfg.Metrics),
-		sims:        map[rescache.Key]*roughsim.Simulation{},
-		flights:     map[rescache.Key]*sweepFlight{},
-		ckpts:       ckpts,
-		ckptCfgs:    map[string]roughsim.SweepConfig{},
-		brk:         newBreaker(cfg.Breaker, cfg.Metrics),
-		chaos:       cfg.Chaos,
-		unjournaled: map[string]struct{}{},
+		cfg:          cfg,
+		queue:        queue,
+		cache:        cache,
+		metrics:      cfg.Metrics,
+		tracer:       trace.NewRecorder(cfg.TraceCapacity),
+		log:          cfg.Log,
+		mux:          http.NewServeMux(),
+		tables:       roughsim.NewTableCache(cfg.TableCacheSize, cfg.Metrics),
+		surrogates:   surrogate.NewRegistry(cfg.SurrogateCap, cfg.SurrogateDir, cfg.Metrics),
+		sims:         map[rescache.Key]*roughsim.Simulation{},
+		flights:      map[rescache.Key]*sweepFlight{},
+		ckpts:        ckpts,
+		ckptCfgs:     map[string]roughsim.SweepConfig{},
+		brk:          newBreaker(cfg.Breaker, cfg.Metrics),
+		chaos:        cfg.Chaos,
+		unjournaled:  map[string]struct{}{},
+		sparArts:     sparArts,
+		sparInFlight: map[rescache.Key]string{},
+		sparJobs:     map[string]rescache.Key{},
 	}
 	queue.SetTracer(s.tracer)
 	// The observer (journal terminal records, breaker outcomes,
@@ -378,6 +411,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignDelete)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleCampaignResult)
+	s.mux.HandleFunc("POST /v1/sparams", s.handleSParamsSubmit)
+	s.mux.HandleFunc("GET /v1/sparams/{id}", s.handleSParamsGet)
+	s.mux.HandleFunc("GET /v1/sparams/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/surrogates", s.handleSurrogateSubmit)
 	s.mux.HandleFunc("GET /v1/surrogates", s.handleSurrogateList)
 	s.mux.HandleFunc("GET /v1/surrogates/{key}", s.handleSurrogateGet)

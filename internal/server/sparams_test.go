@@ -1,0 +1,389 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"roughsim"
+	"roughsim/internal/jobs"
+	"roughsim/internal/sparams"
+	"roughsim/internal/surrogate"
+	"roughsim/internal/telemetry"
+)
+
+// tinySPConfig rides the same tiny physics as tinyConfig: five
+// frequency points over 1–9 GHz on a 2 cm microstrip keep the exact
+// K-resolution path to five fast collocation sweeps.
+func tinySPConfig() roughsim.SParamConfig {
+	sweep := tinyConfig()
+	return roughsim.SParamConfig{
+		Spec: sweep.Spec,
+		Acc:  sweep.Acc,
+		Line: roughsim.LineGeometry{
+			WidthM:   300e-6,
+			HeightM:  170e-6,
+			EpsR:     4.1,
+			TanDelta: 0.018,
+		},
+		LengthM: 0.02,
+		FMinHz:  1e9,
+		FMaxHz:  9e9,
+		Points:  5,
+	}
+}
+
+// awaitSParamsJob polls GET /v1/sparams/{jobID} (the job-status branch
+// of the artifact endpoint) until the generation job is terminal.
+func (ts *testServer) awaitSParamsJob(t *testing.T, id string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body := ts.do(t, "GET", "/v1/sparams/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("job status: %d %s", code, body)
+		}
+		var info jobs.Info
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Status.Terminal() {
+			if info.Status != jobs.StatusSucceeded {
+				t.Fatalf("sparams job %s ended %s: %s", id, info.Status, info.Error)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sparams job %s not terminal in time", id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// decodeAccepted unpacks the 202 payload of POST /v1/sparams.
+func decodeAccepted(t *testing.T, body []byte) (key, jobID string) {
+	t.Helper()
+	var acc struct {
+		Key string    `json:"key"`
+		Job jobs.Info `json:"job"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatalf("accepted payload %s: %v", body, err)
+	}
+	return acc.Key, acc.Job.ID
+}
+
+// TestSParamsEndToEnd is the acceptance path of the S-parameter
+// service: submit a geometry + band, poll the generation job, fetch the
+// artifact as JSON and as a raw .s2p, then re-submit the identical
+// request and prove it is served from the store with zero solver work.
+func TestSParamsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver runs")
+	}
+	m := telemetry.NewRegistry()
+	ts := startServer(t, durableConfig(t.TempDir(), m))
+	defer ts.shutdown(t)
+
+	cfg := tinySPConfig()
+	code, body := ts.do(t, "POST", "/v1/sparams", cfg)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	key, jobID := decodeAccepted(t, body)
+	if key != cfg.Key().String() {
+		t.Fatalf("accepted key %s, config key %s", key, cfg.Key())
+	}
+	ts.awaitSParamsJob(t, jobID)
+
+	// Artifact by content address, JSON form.
+	code, body = ts.do(t, "GET", "/v1/sparams/"+key, nil)
+	if code != http.StatusOK {
+		t.Fatalf("artifact: %d %s", code, body)
+	}
+	var art sparams.Artifact
+	if err := json.Unmarshal(body, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Key != key || art.Points != 5 || art.Source != "exact" {
+		t.Fatalf("artifact provenance wrong: key=%s points=%d source=%q", art.Key, art.Points, art.Source)
+	}
+	if !art.Gates.PassivityOK || !art.Gates.CausalityOK {
+		t.Fatalf("gates failed on served artifact: %s", art.Gates)
+	}
+	var echoed roughsim.SParamConfig
+	if err := json.Unmarshal(art.Config, &echoed); err != nil || echoed.Points != 5 {
+		t.Fatalf("config echo wrong: %s (%v)", art.Config, err)
+	}
+
+	// Raw Touchstone negotiation: query form and Accept form must both
+	// return the byte-identical .s2p body.
+	req, _ := http.NewRequest("GET", ts.base+"/v1/sparams/"+key+"?format=s2p", nil)
+	resp, err := ts.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("s2p fetch: %d %s", resp.StatusCode, buf.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-touchstone" {
+		t.Fatalf("s2p content type %q", ct)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, ".s2p") {
+		t.Fatalf("content disposition %q", cd)
+	}
+	if buf.String() != art.Touchstone {
+		t.Fatal("negotiated .s2p body differs from artifact touchstone")
+	}
+	req, _ = http.NewRequest("GET", ts.base+"/v1/sparams/"+key, nil)
+	req.Header.Set("Accept", "application/x-touchstone")
+	resp, err = ts.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if buf.String() != art.Touchstone {
+		t.Fatal("Accept-negotiated body differs from artifact touchstone")
+	}
+
+	// Identical re-POST: a pure store read. 200 with the same artifact,
+	// no new solver executions, and the hit counter moves.
+	solved := m.Counter("sweep.points_computed").Value()
+	code, body = ts.do(t, "POST", "/v1/sparams", cfg)
+	if code != http.StatusOK {
+		t.Fatalf("re-POST: %d %s", code, body)
+	}
+	var art2 sparams.Artifact
+	if err := json.Unmarshal(body, &art2); err != nil {
+		t.Fatal(err)
+	}
+	if art2.Touchstone != art.Touchstone {
+		t.Fatal("cache-served artifact differs from the generated one")
+	}
+	if got := m.Counter("sweep.points_computed").Value(); got != solved {
+		t.Fatalf("re-POST computed %d new points, want 0", got-solved)
+	}
+	hits := m.Snapshot().Counters[`sparams.requests{outcome="hit"}`]
+	if hits != 1 {
+		t.Fatalf("hit counter = %d, want 1", hits)
+	}
+	if gen := m.Counter("sparams.generated").Value(); gen != 1 {
+		t.Fatalf("generated counter = %d, want 1", gen)
+	}
+}
+
+// TestSParamsRequestValidation: malformed and unknown-field bodies are
+// client errors, and lookups of absent artifacts are clean 404s.
+func TestSParamsRequestValidation(t *testing.T) {
+	ts := startServer(t, Config{Workers: 1, QueueDepth: 2})
+	defer ts.shutdown(t)
+
+	bad := tinySPConfig()
+	bad.Points = 3
+	if code, body := ts.do(t, "POST", "/v1/sparams", bad); code != http.StatusBadRequest {
+		t.Fatalf("points=3 accepted: %d %s", code, body)
+	}
+	aliased := tinySPConfig()
+	aliased.LengthM = 2 // 2 m line over 2 GHz steps aliases the phase
+	code, body := ts.do(t, "POST", "/v1/sparams", aliased)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "too coarse") {
+		t.Fatalf("aliased grid: %d %s", code, body)
+	}
+	if code, _ := ts.do(t, "POST", "/v1/sparams", map[string]any{"bogus_field": 1}); code != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: %d", code)
+	}
+	if inv := ts.metrics.Snapshot().Counters[`sparams.requests{outcome="invalid"}`]; inv != 2 {
+		t.Fatalf("invalid counter = %d, want 2", inv)
+	}
+
+	// A well-formed but unknown content address is a 404 with guidance;
+	// a non-key ID falls through to job lookup, also 404.
+	absent := strings.Repeat("ab", 32)
+	code, body = ts.do(t, "GET", "/v1/sparams/"+absent, nil)
+	if code != http.StatusNotFound || !strings.Contains(string(body), "POST /v1/sparams") {
+		t.Fatalf("absent artifact: %d %s", code, body)
+	}
+	if code, _ = ts.do(t, "GET", "/v1/sparams/not-a-job", nil); code != http.StatusNotFound {
+		t.Fatalf("bogus job id: %d", code)
+	}
+}
+
+// TestSParamsSurrogateFastPath: with an admitted surrogate covering the
+// band, generation resolves K(f) in closed form — the artifact records
+// surrogate provenance and no sweep points are solved for it.
+func TestSParamsSurrogateFastPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits a surrogate through the exact solver")
+	}
+	m := telemetry.NewRegistry()
+	ts := startServer(t, Config{Workers: 2, QueueDepth: 8, SurrogateDir: t.TempDir(), Metrics: m})
+	defer ts.shutdown(t)
+
+	cfg := tinySPConfig()
+	scfg := roughsim.SurrogateConfig{
+		Spec:    cfg.Spec,
+		Acc:     cfg.Acc,
+		FMinHz:  0.5e9,
+		FMaxHz:  12e9,
+		Anchors: 8,
+		Tol:     0.05,
+	}
+	code, body := ts.do(t, "POST", "/v1/surrogates", scfg)
+	if code != http.StatusAccepted {
+		t.Fatalf("surrogate submit: %d %s", code, body)
+	}
+	var sub struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if rec := ts.awaitAdmission(t, sub.Key); rec.Status != surrogate.StatusAdmitted {
+		t.Fatalf("surrogate %s: %s", rec.Status, rec.Reason)
+	}
+
+	solved := m.Counter("sweep.points_computed").Value()
+	code, body = ts.do(t, "POST", "/v1/sparams", cfg)
+	if code != http.StatusAccepted {
+		t.Fatalf("sparams submit: %d %s", code, body)
+	}
+	key, jobID := decodeAccepted(t, body)
+	ts.awaitSParamsJob(t, jobID)
+
+	code, body = ts.do(t, "GET", "/v1/sparams/"+key, nil)
+	if code != http.StatusOK {
+		t.Fatalf("artifact: %d %s", code, body)
+	}
+	var art sparams.Artifact
+	if err := json.Unmarshal(body, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Source != "surrogate" {
+		t.Fatalf("source %q, want surrogate", art.Source)
+	}
+	if !(art.KMaxRelErr > 0) || art.KMaxRelErr > 0.05 {
+		t.Fatalf("k_max_rel_err %g outside (0, 0.05]", art.KMaxRelErr)
+	}
+	if !art.Gates.PassivityOK || !art.Gates.CausalityOK {
+		t.Fatalf("gates failed: %s", art.Gates)
+	}
+	if got := m.Counter("sweep.points_computed").Value(); got != solved {
+		t.Fatalf("surrogate path solved %d sweep points, want 0", got-solved)
+	}
+	snap := m.Snapshot().Counters
+	if snap[`sparams.k_path{path="surrogate"}`] != 1 {
+		t.Fatalf("k_path counters: %v", snap)
+	}
+}
+
+// TestSParamsChaosKillAndReplay kills the daemon — via the
+// deterministic crash injector, indistinguishable from kill -9 — after
+// K(f) is resolved but before the artifact persists, then restarts it
+// against the same journal and cache. The contract: the generation job
+// replays under its original ID, resolves every K point from the disk
+// cache (zero re-solves), lands the artifact, and an identical re-POST
+// is a pure store hit.
+func TestSParamsChaosKillAndReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemons and runs solvers")
+	}
+	dir := t.TempDir()
+	cfg := tinySPConfig()
+	reqBody := mustJSON(t, cfg)
+
+	// Phase 1: daemon armed to die at the first artifact persist.
+	cmd1, addr1 := spawnHelper(t, dir, "sparams.artifact:1")
+	code, _, body := httpJSON(t, "POST", "http://"+addr1+"/v1/sparams", reqBody)
+	if code != http.StatusAccepted {
+		cmd1.Process.Kill()
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	key, jobID := decodeAccepted(t, body)
+	err := cmd1.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 137 {
+		t.Fatalf("helper exit = %v, want chaos crash status 137", err)
+	}
+
+	// Phase 2: restart. The journaled job replays under its original ID;
+	// every K point was cached before the crash, so the resume computes
+	// nothing — it cascades, gates, and persists.
+	cmd2, addr2 := spawnHelper(t, dir, "")
+	base2 := "http://" + addr2
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, _, body = httpJSON(t, "GET", base2+"/v1/sparams/"+jobID, nil)
+		if code != http.StatusOK {
+			t.Fatalf("replayed job status: %d %s", code, body)
+		}
+		var info jobs.Info
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Status.Terminal() {
+			if info.Status != jobs.StatusSucceeded {
+				t.Fatalf("replayed job ended %s: %s", info.Status, info.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replayed job not terminal in time")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	counters := scrapeCounters(t, base2)
+	if got := counters["journal.jobs_replayed"]; got != 1 {
+		t.Errorf("jobs_replayed = %d, want 1", got)
+	}
+	if got := counters["sweep.points_computed"]; got != 0 {
+		t.Errorf("points_computed on resume = %d, want 0 (K grid was cached before the crash)", got)
+	}
+
+	// The artifact is served, and its .s2p body is a well-formed
+	// two-port Touchstone over the requested band.
+	code, hdr, body := httpJSON(t, "GET", base2+"/v1/sparams/"+key+"?format=s2p", nil)
+	if code != http.StatusOK {
+		t.Fatalf("s2p after replay: %d %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-touchstone" {
+		t.Fatalf("s2p content type %q", ct)
+	}
+	var dataRows int
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		switch {
+		case strings.HasPrefix(line, "!"):
+		case strings.HasPrefix(line, "#"):
+			if !strings.HasPrefix(line, "# HZ S RI R 50") {
+				t.Fatalf("option line %q", line)
+			}
+		default:
+			if fields := strings.Fields(line); len(fields) != 9 {
+				t.Fatalf("data row has %d columns: %q", len(fields), line)
+			}
+			dataRows++
+		}
+	}
+	if dataRows != cfg.Points {
+		t.Fatalf("s2p has %d data rows, want %d", dataRows, cfg.Points)
+	}
+
+	// Identical re-POST after the crash-and-replay: pure store hit.
+	code, _, body = httpJSON(t, "POST", base2+"/v1/sparams", reqBody)
+	if code != http.StatusOK {
+		t.Fatalf("re-POST after replay: %d %s", code, body)
+	}
+	counters = scrapeCounters(t, base2)
+	if got := counters[`sparams.requests{outcome="hit"}`]; got != 1 {
+		t.Errorf("hit counter = %d, want 1", got)
+	}
+	stopHelper(t, cmd2)
+}

@@ -1,0 +1,143 @@
+package sparams
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"roughsim/internal/resilience"
+	"roughsim/internal/telemetry"
+	"roughsim/internal/txline"
+)
+
+// GateReport is the validation evidence attached to every artifact: the
+// worst-case margins of each gate, and — when a gate fails — the full
+// per-frequency violation list.
+type GateReport struct {
+	// Passivity: at every sample the singular values of the reciprocal
+	// symmetric 2-port, |S11±S21|, must stay ≤ 1+tol.
+	PassivityTol        float64              `json:"passivity_tol"`
+	WorstSMax           float64              `json:"worst_s_max"`
+	WorstSMaxFreqHz     float64              `json:"worst_s_max_freq_hz"`
+	PassivityOK         bool                 `json:"passivity_ok"`
+	PassivityViolations []PassivityViolation `json:"passivity_violations,omitempty"`
+	// Causality: the unwrapped-phase group delay of S21 must stay
+	// positive (up to a small numerical floor) on every segment.
+	MinGroupDelayS      float64 `json:"min_group_delay_s"`
+	MinGroupDelayFreqHz float64 `json:"min_group_delay_freq_hz"`
+	CausalityOK         bool    `json:"causality_ok"`
+}
+
+// PassivityViolation is one sample where the network would amplify.
+type PassivityViolation struct {
+	FreqHz float64 `json:"freq_hz"`
+	SMax   float64 `json:"s_max"`
+}
+
+// GateError reports a failed validation gate with the complete report,
+// so a caller can see every offending frequency, not just the first.
+type GateError struct {
+	// Gate is "passivity", "causality" or "finite".
+	Gate   string
+	Report GateReport
+	err    error
+}
+
+func (e *GateError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the resilience classification (KindNumerical).
+func (e *GateError) Unwrap() error { return e.err }
+
+// gateFail builds the typed error for one failed gate.
+func gateFail(gate string, report GateReport, format string, args ...any) *GateError {
+	return &GateError{
+		Gate:   gate,
+		Report: report,
+		err:    resilience.Errorf(resilience.KindNumerical, "sparams.gate."+gate, format, args...),
+	}
+}
+
+// runGates runs every validation gate over the cascaded sweep and
+// returns the evidence report. The sweep is already strictly increasing
+// in frequency (the cascade preserves the validated request grid).
+func runGates(sweep []txline.SParams, req Request, m *telemetry.Registry) (GateReport, error) {
+	report := GateReport{PassivityTol: req.passivityTol()}
+
+	// Gate 0: every S value must be finite — a NaN anywhere would make
+	// the remaining gates vacuously "pass" comparisons.
+	for _, s := range sweep {
+		if isBadC(s.S11) || isBadC(s.S21) {
+			m.CounterL("sparams.gates", telemetry.L("gate", "finite"), telemetry.L("outcome", "fail")).Inc()
+			return report, gateFail("finite", report,
+				"non-finite S-parameters at %g Hz (S11=%v, S21=%v)", s.F, s.S11, s.S21)
+		}
+	}
+	m.CounterL("sparams.gates", telemetry.L("gate", "finite"), telemetry.L("outcome", "pass")).Inc()
+
+	// Gate 1: passivity. The cascaded line is reciprocal (S12=S21) and
+	// symmetric (S22=S11), so S = U·diag(S11+S21, S11−S21)·Uᵀ with
+	// orthogonal U — the exact singular values are |S11±S21| and the
+	// bound below is the true σ_max(S) ≤ 1 test, not an estimate.
+	report.PassivityOK = true
+	for _, s := range sweep {
+		sMax := math.Max(cmplx.Abs(s.S11+s.S21), cmplx.Abs(s.S11-s.S21))
+		if sMax > report.WorstSMax {
+			report.WorstSMax = sMax
+			report.WorstSMaxFreqHz = s.F
+		}
+		if sMax > 1+report.PassivityTol {
+			report.PassivityOK = false
+			report.PassivityViolations = append(report.PassivityViolations,
+				PassivityViolation{FreqHz: s.F, SMax: sMax})
+		}
+	}
+	m.Histogram("sparams.passivity_margin").Observe(1 - report.WorstSMax)
+	if !report.PassivityOK {
+		m.CounterL("sparams.gates", telemetry.L("gate", "passivity"), telemetry.L("outcome", "fail")).Inc()
+		v0 := report.PassivityViolations[0]
+		return report, gateFail("passivity", report,
+			"passivity violated at %d of %d samples (first: σ_max=%.9g at %g Hz, bound 1+%g)",
+			len(report.PassivityViolations), len(sweep), v0.SMax, v0.FreqHz, report.PassivityTol)
+	}
+	m.CounterL("sparams.gates", telemetry.L("gate", "passivity"), telemetry.L("outcome", "pass")).Inc()
+
+	// Gate 2: causality. A causal passive line delays: the group delay
+	// from the unwrapped S21 phase must stay positive on every segment.
+	// A small negative floor (1% of the nominal TEM delay) absorbs
+	// dispersion ripple near band edges without admitting a genuinely
+	// anti-causal response.
+	gd := txline.GroupDelay(sweep)
+	nominal := req.LengthM * math.Sqrt(req.Line.EffectivePermittivity()) / 299792458.0
+	floor := -0.01 * nominal
+	report.CausalityOK = true
+	report.MinGroupDelayS = math.Inf(1)
+	for i, d := range gd {
+		if d < report.MinGroupDelayS {
+			report.MinGroupDelayS = d
+			// Attribute the segment to its midpoint frequency.
+			report.MinGroupDelayFreqHz = 0.5 * (sweep[i].F + sweep[i+1].F)
+		}
+		if d < floor {
+			report.CausalityOK = false
+		}
+	}
+	if !report.CausalityOK {
+		m.CounterL("sparams.gates", telemetry.L("gate", "causality"), telemetry.L("outcome", "fail")).Inc()
+		return report, gateFail("causality", report,
+			"causality violated: group delay %.4g s near %g Hz (floor %.4g s, nominal TEM delay %.4g s)",
+			report.MinGroupDelayS, report.MinGroupDelayFreqHz, floor, nominal)
+	}
+	m.CounterL("sparams.gates", telemetry.L("gate", "causality"), telemetry.L("outcome", "pass")).Inc()
+	return report, nil
+}
+
+func isBadC(c complex128) bool {
+	return cmplx.IsNaN(c) || cmplx.IsInf(c)
+}
+
+// String summarizes the report for logs.
+func (r GateReport) String() string {
+	return fmt.Sprintf("passivity ok=%t σ_max=%.6g@%gHz; causality ok=%t min_gd=%.4gs@%gHz",
+		r.PassivityOK, r.WorstSMax, r.WorstSMaxFreqHz,
+		r.CausalityOK, r.MinGroupDelayS, r.MinGroupDelayFreqHz)
+}

@@ -1,10 +1,11 @@
 package txline
 
 import (
-	"fmt"
 	"math"
+	"math/cmplx"
 	"sort"
 
+	"roughsim/internal/resilience"
 	"roughsim/internal/units"
 )
 
@@ -33,26 +34,41 @@ type CausalRoughness struct {
 }
 
 // NewCausalRoughness builds the correction from K samples at the given
-// frequencies (Hz). Frequencies must be positive; they are sorted
-// internally. At least 4 points are required.
+// frequencies (Hz). Frequencies must be positive, finite and distinct;
+// they are sorted internally. K samples must be ≥ 1 and finite (NaN and
+// ±Inf are rejected, not silently absorbed into the quadrature). At
+// least 4 points are required.
 func NewCausalRoughness(freqs, k []float64) (*CausalRoughness, error) {
+	const op = "txline.NewCausalRoughness"
 	if len(freqs) != len(k) || len(freqs) < 4 {
-		return nil, fmt.Errorf("txline: causal roughness needs ≥ 4 matched samples")
+		return nil, resilience.Errorf(resilience.KindInvalidInput, op,
+			"causal roughness needs ≥ 4 matched samples (got %d freqs, %d K values)", len(freqs), len(k))
 	}
 	type pair struct{ f, k float64 }
 	ps := make([]pair, len(freqs))
 	for i := range freqs {
-		if freqs[i] <= 0 {
-			return nil, fmt.Errorf("txline: causal roughness needs positive frequencies")
+		// !(f > 0) catches NaN as well as non-positive values.
+		if !(freqs[i] > 0) || math.IsInf(freqs[i], 0) {
+			return nil, resilience.Errorf(resilience.KindInvalidInput, op,
+				"sample %d: frequency must be positive and finite (got %g Hz)", i, freqs[i])
+		}
+		if math.IsNaN(k[i]) || math.IsInf(k[i], 0) {
+			return nil, resilience.Errorf(resilience.KindNumerical, op,
+				"sample %d: K(%g Hz) is not finite (%g)", i, freqs[i], k[i])
 		}
 		if k[i] < 1 {
-			return nil, fmt.Errorf("txline: K(%g) = %g < 1 is unphysical", freqs[i], k[i])
+			return nil, resilience.Errorf(resilience.KindInvalidInput, op,
+				"sample %d: K(%g Hz) = %g < 1 is unphysical", i, freqs[i], k[i])
 		}
 		ps[i] = pair{freqs[i], k[i]}
 	}
 	sort.Slice(ps, func(a, b int) bool { return ps[a].f < ps[b].f })
 	c := &CausalRoughness{}
-	for _, p := range ps {
+	for i, p := range ps {
+		if i > 0 && p.f == ps[i-1].f {
+			return nil, resilience.Errorf(resilience.KindInvalidInput, op,
+				"duplicate frequency sample %g Hz", p.f)
+		}
 		c.freqs = append(c.freqs, p.f)
 		c.k = append(c.k, p.k)
 	}
@@ -128,9 +144,22 @@ func (c *CausalRoughness) hilbert(f float64) float64 {
 // roughness correction applied to the internal impedance: the series
 // branch becomes jωL_ext + (1+j)·(2Rs/w)·K_c(f), so r absorbs
 // Re{(1+j)·K_c} and l gains the internal contribution Im{(1+j)·K_c}/ω.
-func (ms Microstrip) RLGCCausal(f float64, kc complex128) (r, l, cc, g float64) {
-	if f <= 0 {
-		panic("txline: RLGCCausal needs f > 0")
+func (ms Microstrip) RLGCCausal(f float64, kc complex128) (r, l, cc, g float64, err error) {
+	const op = "txline.RLGCCausal"
+	if err := ms.Validate(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if !finitePositive(f) {
+		return 0, 0, 0, 0, resilience.Errorf(resilience.KindInvalidInput, op,
+			"frequency must be positive and finite (got %g Hz)", f)
+	}
+	if math.IsNaN(real(kc)) || math.IsNaN(imag(kc)) || cmplx.IsInf(kc) {
+		return 0, 0, 0, 0, resilience.Errorf(resilience.KindNumerical, op,
+			"correction factor is not finite (%v)", kc)
+	}
+	if real(kc) < 1 {
+		return 0, 0, 0, 0, resilience.Errorf(resilience.KindInvalidInput, op,
+			"Re K_c = %g < 1 is unphysical", real(kc))
 	}
 	z0 := ms.Z0()
 	ee := ms.EffectivePermittivity()
@@ -143,14 +172,20 @@ func (ms Microstrip) RLGCCausal(f float64, kc complex128) (r, l, cc, g float64) 
 	w := units.AngularFreq(f)
 	l = lext + imag(zint)/w
 	g = w * cc * ms.TanDelta
-	return r, l, cc, g
+	return r, l, cc, g, nil
 }
 
 // InsertionLossDBCausal is InsertionLossDB with the causal correction.
-func InsertionLossDBCausal(ms Microstrip, ell, f, z0 float64, c *CausalRoughness) float64 {
-	r, l, cc, g := ms.RLGCCausal(f, c.Factor(f))
-	s21 := LineABCD(f, ell, r, l, cc, g).S21(z0)
-	return -20 * math.Log10(cmplxAbs(s21))
+func InsertionLossDBCausal(ms Microstrip, ell, f, z0 float64, c *CausalRoughness) (float64, error) {
+	r, l, cc, g, err := ms.RLGCCausal(f, c.Factor(f))
+	if err != nil {
+		return 0, err
+	}
+	m, err := LineABCD(f, ell, r, l, cc, g)
+	if err != nil {
+		return 0, err
+	}
+	return -20 * math.Log10(cmplxAbs(m.S21(z0))), nil
 }
 
 func cmplxAbs(z complex128) float64 { return math.Hypot(real(z), imag(z)) }

@@ -20,6 +20,105 @@ func TestCausalRoughnessValidation(t *testing.T) {
 	}
 }
 
+func TestCausalRoughnessRejectsNonFinite(t *testing.T) {
+	// NaN fails every ordered comparison, so a plain `f <= 0` check lets
+	// it through silently — these must all be hard, typed rejections.
+	cases := []struct {
+		name     string
+		freqs, k []float64
+	}{
+		{"nan-freq", []float64{1e9, math.NaN(), 3e9, 4e9}, []float64{1.1, 1.2, 1.3, 1.4}},
+		{"inf-freq", []float64{1e9, 2e9, math.Inf(1), 4e9}, []float64{1.1, 1.2, 1.3, 1.4}},
+		{"nan-k", []float64{1e9, 2e9, 3e9, 4e9}, []float64{1.1, math.NaN(), 1.3, 1.4}},
+		{"inf-k", []float64{1e9, 2e9, 3e9, 4e9}, []float64{1.1, 1.2, math.Inf(1), 1.4}},
+		{"neg-inf-k", []float64{1e9, 2e9, 3e9, 4e9}, []float64{1.1, 1.2, math.Inf(-1), 1.4}},
+		{"duplicate-freq", []float64{1e9, 2e9, 2e9, 4e9}, []float64{1.1, 1.2, 1.3, 1.4}},
+	}
+	for _, tc := range cases {
+		if _, err := NewCausalRoughness(tc.freqs, tc.k); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestCausalRoughnessSingleAndUnsortedGrid(t *testing.T) {
+	// A single-point grid (even replicated to four samples it is a
+	// degenerate duplicate grid) must be rejected, not divide by zero in
+	// the interpolator.
+	if _, err := NewCausalRoughness([]float64{1e9}, []float64{1.2}); err == nil {
+		t.Fatal("single-point grid accepted")
+	}
+	if _, err := NewCausalRoughness(
+		[]float64{1e9, 1e9, 1e9, 1e9}, []float64{1.2, 1.2, 1.2, 1.2}); err == nil {
+		t.Fatal("replicated single-frequency grid accepted")
+	}
+	// An unsorted grid is legal input: the constructor sorts, and the
+	// result must be identical to the sorted build.
+	sortedF := []float64{1e9, 2e9, 3e9, 4e9, 6e9, 9e9}
+	sortedK := []float64{1.10, 1.20, 1.28, 1.34, 1.42, 1.48}
+	shuffledF := []float64{4e9, 1e9, 9e9, 3e9, 6e9, 2e9}
+	shuffledK := []float64{1.34, 1.10, 1.48, 1.28, 1.42, 1.20}
+	a, err := NewCausalRoughness(sortedF, sortedK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCausalRoughness(shuffledF, shuffledK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{0.5e9, 1.5e9, 2.5e9, 5e9, 8e9, 20e9} {
+		if a.K(f) != b.K(f) {
+			t.Fatalf("K(%g) differs across input order: %g vs %g", f, a.K(f), b.K(f))
+		}
+		if a.Factor(f) != b.Factor(f) {
+			t.Fatalf("Factor(%g) differs across input order", f)
+		}
+	}
+}
+
+func TestKramersKronigDebyeReference(t *testing.T) {
+	// Saturating-tail accuracy against an exact analytic pair: the Debye
+	// profile K(f) = K∞ − A/(1 + (f/f0)²) saturates to K∞ like every
+	// physical roughness model, and its exact Hilbert partner under the
+	// transform this package computes, X(f) = (2f/π)·P∫ [K(ν)−K∞]/(ν²−f²) dν,
+	// is
+	//
+	//	X(f) = +A·(f0·f)/(f0² + f²)
+	//
+	// (from P∫₀^∞ dν/(ν²−f²) = 0 and ∫₀^∞ dν/(ν²+f0²) = π/(2f0)).
+	// Sampling far past f0 makes the truncated tail negligible, so the
+	// quadrature must land within a few percent of the closed form.
+	const (
+		kInf = 1.6
+		A    = 0.5
+		f0   = 2e9
+	)
+	// Log-spaced samples from far below f0 (where K ≈ K(0)) to ~1000·f0
+	// (tail saturated): the constructor's clamp outside the sampled band
+	// then matches the true Debye profile to ~1e-3 on both ends.
+	const n = 3000
+	fmin, fmax := 0.02e9, 2000e9
+	freqs := make([]float64, n)
+	ks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f := fmin * math.Pow(fmax/fmin, float64(i)/(n-1))
+		freqs[i] = f
+		ks[i] = kInf - A/(1+(f/f0)*(f/f0))
+	}
+	c, err := NewCausalRoughness(freqs, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fG := range []float64{2, 4, 8, 16} {
+		f := fG * 1e9
+		want := A * f0 * f / (f0*f0 + f*f)
+		got := imag(c.Factor(f))
+		if math.Abs(got-want) > 0.04*math.Abs(want) {
+			t.Errorf("f=%g GHz: Im Kc = %g, want %g (Debye closed form)", fG, got, want)
+		}
+	}
+}
+
 func TestCausalInterpolation(t *testing.T) {
 	c, err := NewCausalRoughness(
 		[]float64{1e9, 2e9, 3e9, 4e9},
@@ -108,8 +207,11 @@ func TestRLGCCausalReducesToSmooth(t *testing.T) {
 	// exactly the smooth internal inductance.
 	ms := fr4Line()
 	f := 5 * units.GHz
-	rSm, lSm, cSm, gSm := ms.RLGC(f, 1)
-	r, l, c, g := ms.RLGCCausal(f, 1)
+	rSm, lSm, cSm, gSm := mustRLGC(t, ms, f, 1)
+	r, l, c, g, err := ms.RLGCCausal(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(r-rSm)/rSm > 1e-12 || c != cSm || g != gSm {
 		t.Fatalf("causal with Kc=1 deviates: r=%g vs %g", r, rSm)
 	}
@@ -141,8 +243,11 @@ func TestCausalInsertionLossClose(t *testing.T) {
 	}
 	for _, fG := range []float64{2, 5, 10} {
 		f := fG * 1e9
-		causal := InsertionLossDBCausal(ms, 0.2, f, 50, c)
-		naive := InsertionLossDB(ms, 0.2, f, 50, func(ff float64) float64 { return c.K(ff) })
+		causal, err := InsertionLossDBCausal(ms, 0.2, f, 50, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := mustIL(t, ms, 0.2, f, 50, func(ff float64) float64 { return c.K(ff) })
 		if causal <= 0 {
 			t.Fatalf("f=%g GHz: non-positive causal IL %g", fG, causal)
 		}

@@ -17,14 +17,20 @@ type SParams struct {
 // SweepSParams evaluates the two-port S-parameters of a length-ell
 // microstrip over a frequency list under a roughness model, referenced
 // to z0.
-func SweepSParams(ms Microstrip, ell, z0 float64, freqs []float64, kr RoughnessModel) []SParams {
+func SweepSParams(ms Microstrip, ell, z0 float64, freqs []float64, kr RoughnessModel) ([]SParams, error) {
 	out := make([]SParams, 0, len(freqs))
 	for _, f := range freqs {
-		r, l, c, g := ms.RLGC(f, kr(f))
-		m := LineABCD(f, ell, r, l, c, g)
+		r, l, c, g, err := ms.RLGC(f, kr(f))
+		if err != nil {
+			return nil, err
+		}
+		m, err := LineABCD(f, ell, r, l, c, g)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, SParams{F: f, S11: m.S11(z0), S21: m.S21(z0)})
 	}
-	return out
+	return out, nil
 }
 
 // WriteTouchstone emits the sweep in Touchstone 1.x two-port format
@@ -38,9 +44,18 @@ func WriteTouchstone(w io.Writer, z0 float64, sweep []SParams) error {
 		return err
 	}
 	prev := 0.0
-	for _, s := range sweep {
-		if s.F <= prev {
-			return fmt.Errorf("txline: touchstone frequencies must be strictly increasing (%g after %g)", s.F, prev)
+	for i, s := range sweep {
+		// Touchstone 1.x requires strictly increasing frequencies; most SI
+		// tools misparse duplicates or reordered rows silently, so both are
+		// hard errors here with the row index and both values named.
+		if !(s.F > 0) || math.IsInf(s.F, 0) {
+			return fmt.Errorf("txline: touchstone row %d: frequency must be positive and finite (got %g)", i, s.F)
+		}
+		if s.F == prev {
+			return fmt.Errorf("txline: touchstone row %d: duplicate frequency %g Hz", i, s.F)
+		}
+		if s.F < prev {
+			return fmt.Errorf("txline: touchstone row %d: frequencies must be strictly increasing (%g Hz after %g Hz)", i, s.F, prev)
 		}
 		prev = s.F
 		s12 := s.S21 // reciprocity

@@ -17,9 +17,18 @@ func sweepFreqs() []float64 {
 	return fs
 }
 
+func mustSweepS(t *testing.T, ms Microstrip, ell, z0 float64, freqs []float64, kr RoughnessModel) []SParams {
+	t.Helper()
+	sweep, err := SweepSParams(ms, ell, z0, freqs, kr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sweep
+}
+
 func TestSweepAndTouchstone(t *testing.T) {
 	ms := fr4Line()
-	sweep := SweepSParams(ms, 0.1, 50, sweepFreqs(), Smooth)
+	sweep := mustSweepS(t, ms, 0.1, 50, sweepFreqs(), Smooth)
 	if len(sweep) != 10 {
 		t.Fatalf("sweep length %d", len(sweep))
 	}
@@ -47,15 +56,38 @@ func TestTouchstoneRejectsBadSweep(t *testing.T) {
 		t.Fatal("empty sweep accepted")
 	}
 	sweep := []SParams{{F: 2e9}, {F: 1e9}}
-	if err := WriteTouchstone(&buf, 50, sweep); err == nil {
+	err := WriteTouchstone(&buf, 50, sweep)
+	if err == nil {
 		t.Fatal("non-monotone frequencies accepted")
+	}
+	if !strings.Contains(err.Error(), "strictly increasing") {
+		t.Fatalf("non-monotone error not descriptive: %v", err)
+	}
+}
+
+func TestTouchstoneRejectsDuplicateFrequency(t *testing.T) {
+	// Touchstone 1.x requires strictly increasing rows; a duplicate must
+	// be rejected with an error naming the repeated frequency, not
+	// silently emitted for an SI tool to misparse.
+	sweep := []SParams{{F: 1e9, S21: 1}, {F: 2e9, S21: 1}, {F: 2e9, S21: 1}, {F: 3e9, S21: 1}}
+	var buf bytes.Buffer
+	err := WriteTouchstone(&buf, 50, sweep)
+	if err == nil {
+		t.Fatal("duplicate frequency accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate") || !strings.Contains(err.Error(), "2e+09") {
+		t.Fatalf("duplicate error not descriptive: %v", err)
+	}
+	// Non-finite frequencies are equally fatal.
+	if err := WriteTouchstone(&buf, 50, []SParams{{F: math.NaN(), S21: 1}}); err == nil {
+		t.Fatal("NaN frequency accepted")
 	}
 }
 
 func TestSweepPassivity(t *testing.T) {
 	ms := fr4Line()
 	matK := func(f float64) float64 { return 1 + 0.5*f/(f+5e9) } // rising K
-	sweep := SweepSParams(ms, 0.3, 50, sweepFreqs(), matK)
+	sweep := mustSweepS(t, ms, 0.3, 50, sweepFreqs(), matK)
 	if p := PassivityCheck(sweep); p > 1.0+1e-9 {
 		t.Fatalf("line is active: max power gain %g", p)
 	}
@@ -66,7 +98,7 @@ func TestGroupDelayPositiveAndNearTEM(t *testing.T) {
 	// Keep the per-sample phase step below π (delay·Δf < ½) so the
 	// unwrap in GroupDelay is unambiguous: 5 cm at 1 GHz spacing.
 	ell := 0.05
-	sweep := SweepSParams(ms, ell, 50, sweepFreqs(), Smooth)
+	sweep := mustSweepS(t, ms, ell, 50, sweepFreqs(), Smooth)
 	gd := GroupDelay(sweep)
 	// Expected delay ≈ ell/v = ell·sqrt(ε_eff)/c.
 	want := ell / (units.C0 / sqrtEff(ms))

@@ -10,10 +10,10 @@
 package txline
 
 import (
-	"fmt"
 	"math"
 	"math/cmplx"
 
+	"roughsim/internal/resilience"
 	"roughsim/internal/units"
 )
 
@@ -24,6 +24,35 @@ type Microstrip struct {
 	EpsR     float64 // substrate relative permittivity
 	TanDelta float64 // substrate loss tangent
 	Rho      float64 // conductor resistivity (Ω·m)
+}
+
+// finitePositive reports whether v is a finite value > 0 (NaN fails
+// every comparison, so !(v > 0) catches it too).
+func finitePositive(v float64) bool { return v > 0 && !math.IsInf(v, 0) }
+
+// Validate checks the geometry and material fields, naming the
+// offending field in a typed invalid-input error so an API tier can
+// map it straight to a 400.
+func (ms Microstrip) Validate() error {
+	const op = "txline.Microstrip"
+	switch {
+	case !finitePositive(ms.Width):
+		return resilience.Errorf(resilience.KindInvalidInput, op,
+			"width must be positive and finite (got %g)", ms.Width)
+	case !finitePositive(ms.Height):
+		return resilience.Errorf(resilience.KindInvalidInput, op,
+			"height must be positive and finite (got %g)", ms.Height)
+	case !(ms.EpsR >= 1) || math.IsInf(ms.EpsR, 0):
+		return resilience.Errorf(resilience.KindInvalidInput, op,
+			"eps_r must be ≥ 1 and finite (got %g)", ms.EpsR)
+	case !(ms.TanDelta >= 0) || math.IsInf(ms.TanDelta, 0):
+		return resilience.Errorf(resilience.KindInvalidInput, op,
+			"tan_delta must be ≥ 0 and finite (got %g)", ms.TanDelta)
+	case !finitePositive(ms.Rho):
+		return resilience.Errorf(resilience.KindInvalidInput, op,
+			"rho must be positive and finite (got %g)", ms.Rho)
+	}
+	return nil
 }
 
 // EffectivePermittivity returns the quasi-static ε_eff of the microstrip
@@ -45,10 +74,20 @@ func (ms Microstrip) Z0() float64 {
 
 // RLGC returns the per-unit-length parameters at frequency f with the
 // roughness factor kr applied to the series resistance (kr = 1 for a
-// smooth conductor).
-func (ms Microstrip) RLGC(f, kr float64) (r, l, c, g float64) {
-	if f <= 0 || kr < 1 {
-		panic(fmt.Sprintf("txline: RLGC needs f > 0 and kr ≥ 1 (got f=%g kr=%g)", f, kr))
+// smooth conductor). Out-of-domain input yields a typed invalid-input
+// error (never a panic): an API tier maps it to a 400 naming the field.
+func (ms Microstrip) RLGC(f, kr float64) (r, l, c, g float64, err error) {
+	const op = "txline.RLGC"
+	if err := ms.Validate(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if !finitePositive(f) {
+		return 0, 0, 0, 0, resilience.Errorf(resilience.KindInvalidInput, op,
+			"frequency must be positive and finite (got %g Hz)", f)
+	}
+	if !(kr >= 1) || math.IsInf(kr, 0) {
+		return 0, 0, 0, 0, resilience.Errorf(resilience.KindInvalidInput, op,
+			"roughness factor must be ≥ 1 and finite (got kr=%g)", kr)
 	}
 	z0 := ms.Z0()
 	ee := ms.EffectivePermittivity()
@@ -61,7 +100,7 @@ func (ms Microstrip) RLGC(f, kr float64) (r, l, c, g float64) {
 	rs := units.SurfaceResistance(f, ms.Rho)
 	r = 2 * rs / ms.Width * kr
 	g = units.AngularFreq(f) * c * ms.TanDelta
-	return r, l, c, g
+	return r, l, c, g, nil
 }
 
 // ABCD is a 2×2 complex transmission (chain) matrix.
@@ -78,8 +117,30 @@ func (m ABCD) Mul(n ABCD) ABCD {
 }
 
 // LineABCD returns the chain matrix of a uniform line of length ell with
-// per-unit-length RLGC values at frequency f.
-func LineABCD(f, ell, r, l, c, g float64) ABCD {
+// per-unit-length RLGC values at frequency f. Out-of-domain input yields
+// a typed invalid-input error naming the offending parameter.
+func LineABCD(f, ell, r, l, c, g float64) (ABCD, error) {
+	const op = "txline.LineABCD"
+	switch {
+	case !finitePositive(f):
+		return ABCD{}, resilience.Errorf(resilience.KindInvalidInput, op,
+			"frequency must be positive and finite (got %g Hz)", f)
+	case !finitePositive(ell):
+		return ABCD{}, resilience.Errorf(resilience.KindInvalidInput, op,
+			"length must be positive and finite (got %g m)", ell)
+	case !(r >= 0) || math.IsInf(r, 0):
+		return ABCD{}, resilience.Errorf(resilience.KindInvalidInput, op,
+			"series resistance must be ≥ 0 and finite (got %g Ω/m)", r)
+	case !finitePositive(l):
+		return ABCD{}, resilience.Errorf(resilience.KindInvalidInput, op,
+			"series inductance must be positive and finite (got %g H/m)", l)
+	case !finitePositive(c):
+		return ABCD{}, resilience.Errorf(resilience.KindInvalidInput, op,
+			"shunt capacitance must be positive and finite (got %g F/m)", c)
+	case !(g >= 0) || math.IsInf(g, 0):
+		return ABCD{}, resilience.Errorf(resilience.KindInvalidInput, op,
+			"shunt conductance must be ≥ 0 and finite (got %g S/m)", g)
+	}
 	w := units.AngularFreq(f)
 	zs := complex(r, w*l)
 	yp := complex(g, w*c)
@@ -91,7 +152,7 @@ func LineABCD(f, ell, r, l, c, g float64) ABCD {
 		B: zc * cmplx.Sinh(gl),
 		C: cmplx.Sinh(gl) / zc,
 		D: cmplx.Cosh(gl),
-	}
+	}, nil
 }
 
 // S21 converts a chain matrix to the forward transmission coefficient in
@@ -117,18 +178,27 @@ func Smooth(float64) float64 { return 1 }
 
 // InsertionLossDB returns −20·log10|S21| of a length-ell microstrip at
 // frequency f under the given roughness model, referenced to z0.
-func InsertionLossDB(ms Microstrip, ell, f, z0 float64, kr RoughnessModel) float64 {
-	r, l, c, g := ms.RLGC(f, kr(f))
-	s21 := LineABCD(f, ell, r, l, c, g).S21(z0)
-	return -20 * math.Log10(cmplx.Abs(s21))
+func InsertionLossDB(ms Microstrip, ell, f, z0 float64, kr RoughnessModel) (float64, error) {
+	r, l, c, g, err := ms.RLGC(f, kr(f))
+	if err != nil {
+		return 0, err
+	}
+	m, err := LineABCD(f, ell, r, l, c, g)
+	if err != nil {
+		return 0, err
+	}
+	return -20 * math.Log10(cmplx.Abs(m.S21(z0))), nil
 }
 
 // AttenuationNpPerM returns the real part of the propagation constant
 // (Np/m) at f — the per-meter loss the paper's Rf ∝ √f discussion is
 // about.
-func AttenuationNpPerM(ms Microstrip, f float64, kr RoughnessModel) float64 {
-	r, l, c, g := ms.RLGC(f, kr(f))
+func AttenuationNpPerM(ms Microstrip, f float64, kr RoughnessModel) (float64, error) {
+	r, l, c, g, err := ms.RLGC(f, kr(f))
+	if err != nil {
+		return 0, err
+	}
 	w := units.AngularFreq(f)
 	gamma := cmplx.Sqrt(complex(r, w*l) * complex(g, w*c))
-	return real(gamma)
+	return real(gamma), nil
 }

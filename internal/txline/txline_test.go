@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"roughsim/internal/core"
+	"roughsim/internal/resilience"
 	"roughsim/internal/units"
 )
 
@@ -18,6 +19,44 @@ func fr4Line() Microstrip {
 		TanDelta: 0.02,
 		Rho:      units.CopperResistivity,
 	}
+}
+
+// mustRLGC / mustABCD / mustIL / mustAtten unwrap the error returns for
+// tests exercising in-domain inputs.
+func mustRLGC(t *testing.T, ms Microstrip, f, kr float64) (r, l, c, g float64) {
+	t.Helper()
+	r, l, c, g, err := ms.RLGC(f, kr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, l, c, g
+}
+
+func mustABCD(t *testing.T, f, ell, r, l, c, g float64) ABCD {
+	t.Helper()
+	m, err := LineABCD(f, ell, r, l, c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustIL(t *testing.T, ms Microstrip, ell, f, z0 float64, kr RoughnessModel) float64 {
+	t.Helper()
+	il, err := InsertionLossDB(ms, ell, f, z0, kr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return il
+}
+
+func mustAtten(t *testing.T, ms Microstrip, f float64, kr RoughnessModel) float64 {
+	t.Helper()
+	a, err := AttenuationNpPerM(ms, f, kr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
 }
 
 func TestEffectivePermittivityBounds(t *testing.T) {
@@ -44,8 +83,8 @@ func TestZ0Reasonable(t *testing.T) {
 func TestLosslessLineIsUnitary(t *testing.T) {
 	// R = G = 0: |S11|² + |S21|² = 1 at any frequency/length.
 	ms := fr4Line()
-	_, l, c, _ := ms.RLGC(1*units.GHz, 1)
-	m := LineABCD(1*units.GHz, 0.1, 0, l, c, 0)
+	_, l, c, _ := mustRLGC(t, ms, 1*units.GHz, 1)
+	m := mustABCD(t, 1*units.GHz, 0.1, 0, l, c, 0)
 	s11 := m.S11(50)
 	s21 := m.S21(50)
 	sum := cmplx.Abs(s11)*cmplx.Abs(s11) + cmplx.Abs(s21)*cmplx.Abs(s21)
@@ -57,7 +96,7 @@ func TestLosslessLineIsUnitary(t *testing.T) {
 func TestPassivity(t *testing.T) {
 	ms := fr4Line()
 	for _, fGHz := range []float64{0.1, 1, 5, 10, 20} {
-		il := InsertionLossDB(ms, 0.2, fGHz*units.GHz, 50, Smooth)
+		il := mustIL(t, ms, 0.2, fGHz*units.GHz, 50, Smooth)
 		if il < 0 {
 			t.Fatalf("negative insertion loss (gain) at %g GHz: %g dB", fGHz, il)
 		}
@@ -68,12 +107,12 @@ func TestMatchedLineS21Magnitude(t *testing.T) {
 	// When referenced to its own impedance, |S21| = e^{−αℓ} exactly.
 	ms := fr4Line()
 	f := 5 * units.GHz
-	r, l, c, g := ms.RLGC(f, 1)
+	r, l, c, g := mustRLGC(t, ms, f, 1)
 	w := units.AngularFreq(f)
 	zc := cmplx.Sqrt(complex(r, w*l) / complex(g, w*c))
 	alpha := real(cmplx.Sqrt(complex(r, w*l) * complex(g, w*c)))
 	ell := 0.15
-	s21 := LineABCD(f, ell, r, l, c, g).S21(real(zc))
+	s21 := mustABCD(t, f, ell, r, l, c, g).S21(real(zc))
 	// Small mismatch from the imaginary part of Zc.
 	if d := math.Abs(cmplx.Abs(s21)-math.Exp(-alpha*ell)) / math.Exp(-alpha*ell); d > 0.02 {
 		t.Fatalf("matched |S21| = %g vs e^{−αℓ} = %g", cmplx.Abs(s21), math.Exp(-alpha*ell))
@@ -86,8 +125,8 @@ func TestRoughnessIncreasesLoss(t *testing.T) {
 	rough := func(f float64) float64 { k, _ := mat.EmpiricalAt(1e-6, f); return k }
 	for _, fGHz := range []float64{1, 5, 10} {
 		f := fGHz * units.GHz
-		smooth := InsertionLossDB(ms, 0.3, f, 50, Smooth)
-		withR := InsertionLossDB(ms, 0.3, f, 50, rough)
+		smooth := mustIL(t, ms, 0.3, f, 50, Smooth)
+		withR := mustIL(t, ms, 0.3, f, 50, rough)
 		if withR <= smooth {
 			t.Fatalf("f=%g GHz: rough IL %g ≤ smooth IL %g", fGHz, withR, smooth)
 		}
@@ -99,8 +138,8 @@ func TestConductorAttenuationScalesRootF(t *testing.T) {
 	// regime (the classical law the paper says roughness breaks).
 	ms := fr4Line()
 	ms.TanDelta = 0
-	a1 := AttenuationNpPerM(ms, 1*units.GHz, Smooth)
-	a4 := AttenuationNpPerM(ms, 4*units.GHz, Smooth)
+	a1 := mustAtten(t, ms, 1*units.GHz, Smooth)
+	a4 := mustAtten(t, ms, 4*units.GHz, Smooth)
 	if math.Abs(a4/a1-2) > 0.05 {
 		t.Fatalf("α(4GHz)/α(1GHz) = %g, want ≈ 2", a4/a1)
 	}
@@ -108,8 +147,8 @@ func TestConductorAttenuationScalesRootF(t *testing.T) {
 	// exceeds 2.
 	mat := core.PaperMaterial()
 	rough := func(f float64) float64 { k, _ := mat.EmpiricalAt(2e-6, f); return k }
-	r1 := AttenuationNpPerM(ms, 1*units.GHz, rough)
-	r4 := AttenuationNpPerM(ms, 4*units.GHz, rough)
+	r1 := mustAtten(t, ms, 1*units.GHz, rough)
+	r4 := mustAtten(t, ms, 4*units.GHz, rough)
 	if r4/r1 <= a4/a1 {
 		t.Fatalf("roughness should steepen the α(f) slope: %g vs %g", r4/r1, a4/a1)
 	}
@@ -119,9 +158,9 @@ func TestCascadeAssociativity(t *testing.T) {
 	// Two half-length segments must equal one full segment.
 	ms := fr4Line()
 	f := 3 * units.GHz
-	r, l, c, g := ms.RLGC(f, 1.3)
-	full := LineABCD(f, 0.2, r, l, c, g)
-	half := LineABCD(f, 0.1, r, l, c, g)
+	r, l, c, g := mustRLGC(t, ms, f, 1.3)
+	full := mustABCD(t, f, 0.2, r, l, c, g)
+	half := mustABCD(t, f, 0.1, r, l, c, g)
 	two := half.Mul(half)
 	for _, pair := range [][2]complex128{{full.A, two.A}, {full.B, two.B}, {full.C, two.C}, {full.D, two.D}} {
 		if cmplx.Abs(pair[0]-pair[1]) > 1e-9*(1+cmplx.Abs(pair[0])) {
@@ -130,11 +169,34 @@ func TestCascadeAssociativity(t *testing.T) {
 	}
 }
 
-func TestRLGCPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for kr < 1")
+func TestRLGCTypedErrors(t *testing.T) {
+	// Out-of-domain input must come back as a classified invalid-input
+	// error (the API tier maps it to a 400), never as a panic.
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"kr<1", func() error { _, _, _, _, err := fr4Line().RLGC(1*units.GHz, 0.5); return err }},
+		{"f<=0", func() error { _, _, _, _, err := fr4Line().RLGC(0, 1); return err }},
+		{"f=NaN", func() error { _, _, _, _, err := fr4Line().RLGC(math.NaN(), 1); return err }},
+		{"kr=NaN", func() error { _, _, _, _, err := fr4Line().RLGC(1*units.GHz, math.NaN()); return err }},
+		{"bad-width", func() error {
+			ms := fr4Line()
+			ms.Width = -1
+			_, _, _, _, err := ms.RLGC(1*units.GHz, 1)
+			return err
+		}},
+		{"abcd-f<=0", func() error { _, err := LineABCD(0, 0.1, 0, 1e-7, 1e-10, 0); return err }},
+		{"abcd-l<=0", func() error { _, err := LineABCD(1*units.GHz, 0.1, 0, 0, 1e-10, 0); return err }},
+		{"abcd-r=NaN", func() error { _, err := LineABCD(1*units.GHz, 0.1, math.NaN(), 1e-7, 1e-10, 0); return err }},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
 		}
-	}()
-	fr4Line().RLGC(1*units.GHz, 0.5)
+		if kind := resilience.Classify(err); kind != resilience.KindInvalidInput {
+			t.Fatalf("%s: classified %v, want invalid-input (%v)", tc.name, kind, err)
+		}
+	}
 }

@@ -1,0 +1,90 @@
+#!/bin/sh
+# S-parameter service smoke test: boot roughsimd, request a gated
+# Touchstone artifact over 1–9 GHz, assert the .s2p body parses and is
+# passive at every sample, then re-POST the identical request and
+# require a synchronous store hit (200, not 202).
+set -eu
+
+PORT="${SMOKE_PORT:-18084}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)/roughsimd"
+
+go build -o "$BIN" ./cmd/roughsimd
+
+"$BIN" -addr "127.0.0.1:$PORT" -workers 2 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true' EXIT
+
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -le 50 ] || { echo "FAIL: daemon did not come up"; exit 1; }
+    sleep 0.2
+done
+
+REQ='{
+  "surface":  {"cf": "gaussian", "sigma": 4e-7, "eta": 1e-6},
+  "accuracy": {"grid": 8, "dim": 2},
+  "line":     {"width_m": 300e-6, "height_m": 170e-6, "eps_r": 4.1, "tan_delta": 0.018},
+  "length_m": 0.02,
+  "fmin_hz":  1e9,
+  "fmax_hz":  9e9,
+  "points":   5
+}'
+
+ACCEPTED=$(curl -sf -X POST "$BASE/v1/sparams" -d "$REQ")
+KEY=$(printf '%s' "$ACCEPTED" | sed -n 's/.*"key"[: ]*"\([^"]*\)".*/\1/p' | head -n 1)
+JOB=$(printf '%s' "$ACCEPTED" | sed -n 's/.*"id"[: ]*"\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "$KEY" ] && [ -n "$JOB" ] || { echo "FAIL: no key/job in $ACCEPTED"; exit 1; }
+
+i=0
+while :; do
+    STATUS=$(curl -sf "$BASE/v1/sparams/$JOB" | sed -n 's/.*"status"[: ]*"\([^"]*\)".*/\1/p' | head -n 1)
+    case "$STATUS" in
+    succeeded) break ;;
+    failed | canceled) echo "FAIL: generation ended $STATUS"; exit 1 ;;
+    esac
+    i=$((i + 1))
+    [ "$i" -le 300 ] || { echo "FAIL: generation did not finish"; exit 1; }
+    sleep 0.2
+done
+
+S2P="$(mktemp)"
+curl -sf "$BASE/v1/sparams/$KEY?format=s2p" >"$S2P"
+
+# The body must be a two-port Touchstone: one option line (# HZ S RI
+# R 50), 5 nine-column data rows with strictly increasing frequencies,
+# and every sample passive — for a reciprocal symmetric two-port the
+# exact singular values of S are |S11±S21|, so both must stay ≤ 1.
+awk '
+    /^!/ { next }
+    /^#/ {
+        if ($0 !~ /^# HZ S RI R 50/) { print "bad option line: " $0; bad = 1 }
+        opts++
+        next
+    }
+    {
+        if (NF != 9) { print "bad data row: " $0; bad = 1; next }
+        if ($1 <= prevf) { print "non-increasing frequency: " $0; bad = 1 }
+        prevf = $1
+        rows++
+        s11r = $2; s11i = $3; s21r = $4; s21i = $5
+        sp = sqrt((s11r + s21r)^2 + (s11i + s21i)^2)
+        sm = sqrt((s11r - s21r)^2 + (s11i - s21i)^2)
+        if (sp > 1 + 1e-6 || sm > 1 + 1e-6) {
+            print "non-passive sample at " $1 " Hz: |S11+S21|=" sp " |S11-S21|=" sm
+            bad = 1
+        }
+    }
+    END {
+        if (opts != 1) { print "option lines: " opts; bad = 1 }
+        if (rows != 5) { print "data rows: " rows; bad = 1 }
+        exit bad
+    }
+' "$S2P" || { echo "FAIL: touchstone body invalid"; cat "$S2P"; exit 1; }
+
+# Identical re-POST: pure store read, answered synchronously.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/sparams" -d "$REQ")
+[ "$CODE" = "200" ] || { echo "FAIL: re-POST returned $CODE, want 200 store hit"; exit 1; }
+
+echo "OK: sparams smoke passed (artifact $KEY)"

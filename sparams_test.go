@@ -1,0 +1,206 @@
+package roughsim
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"roughsim/internal/resilience"
+)
+
+// tinySParamConfig keeps the exact-path solve fast: coarse grid, low
+// stochastic dimension, few frequency points.
+func tinySParamConfig() SParamConfig {
+	return SParamConfig{
+		Spec: SurfaceSpec{Corr: GaussianCF, Sigma: 0.4e-6, Eta: 1e-6},
+		Acc:  Accuracy{GridPerSide: 8, StochasticDim: 2},
+		Line: LineGeometry{
+			WidthM:   300e-6,
+			HeightM:  170e-6,
+			EpsR:     4.1,
+			TanDelta: 0.018,
+		},
+		LengthM: 0.02,
+		FMinHz:  1e9,
+		FMaxHz:  9e9,
+		Points:  5,
+	}
+}
+
+func TestSParamConfigKeyStability(t *testing.T) {
+	a := tinySParamConfig().Key()
+	b := tinySParamConfig().Key()
+	if a != b {
+		t.Fatal("identical configs produced different keys")
+	}
+	// Defaults applied before encoding: elided and explicit defaults
+	// share an address.
+	expl := tinySParamConfig()
+	expl.Z0 = 50
+	expl.Stack = CopperSiO2()
+	if expl.Key() != a {
+		t.Fatal("explicit defaults changed the key")
+	}
+	// PassivityTol shapes the verdict, not the content.
+	tol := tinySParamConfig()
+	tol.PassivityTol = 1e-6
+	if tol.Key() != a {
+		t.Fatal("passivity_tol leaked into the key")
+	}
+	// Every content-determining field must move the address.
+	for name, mut := range map[string]func(*SParamConfig){
+		"width":  func(c *SParamConfig) { c.Line.WidthM *= 2 },
+		"length": func(c *SParamConfig) { c.LengthM *= 2 },
+		"z0":     func(c *SParamConfig) { c.Z0 = 75 },
+		"band":   func(c *SParamConfig) { c.FMaxHz = 10e9 },
+		"points": func(c *SParamConfig) { c.Points = 6 },
+		"sigma":  func(c *SParamConfig) { c.Spec.Sigma = 0.5e-6 },
+	} {
+		c := tinySParamConfig()
+		mut(&c)
+		if c.Key() == a {
+			t.Fatalf("%s change did not move the key", name)
+		}
+	}
+	// And the address space is domain-separated from sweeps over the
+	// same physics.
+	if tinySParamConfig().KSweep().Key() == a {
+		t.Fatal("sparams key collides with sweep key")
+	}
+}
+
+func TestSParamConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*SParamConfig)
+		want string
+	}{
+		{"no-band", func(c *SParamConfig) { c.FMinHz = 0 }, "fmin_hz"},
+		{"inverted-band", func(c *SParamConfig) { c.FMaxHz = 0.5e9 }, "fmax_hz"},
+		{"few-points", func(c *SParamConfig) { c.Points = 3 }, "points"},
+		{"huge-points", func(c *SParamConfig) { c.Points = 200000 }, "points"},
+		{"no-length", func(c *SParamConfig) { c.LengthM = 0 }, "length_m"},
+		{"bad-width", func(c *SParamConfig) { c.Line.WidthM = -1 }, "width"},
+		{"bad-z0", func(c *SParamConfig) { c.Z0 = math.Inf(1) }, "z0"},
+		// 2 m line over a 5-point, 2 GHz-spaced grid aliases the phase.
+		{"aliased", func(c *SParamConfig) { c.LengthM = 2 }, "too coarse"},
+	}
+	for _, tc := range cases {
+		c := tinySParamConfig()
+		tc.mut(&c)
+		err := c.WithDefaults().Validate()
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if resilience.Classify(err) != resilience.KindInvalidInput {
+			t.Fatalf("%s: classified %v (%v)", tc.name, resilience.Classify(err), err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+	if err := tinySParamConfig().WithDefaults().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestSParamConfigGrid(t *testing.T) {
+	c := tinySParamConfig().WithDefaults()
+	g := c.Grid()
+	if len(g) != 5 || g[0] != 1e9 || g[4] != 9e9 {
+		t.Fatalf("grid %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("grid not increasing at %d: %v", i, g)
+		}
+	}
+}
+
+func TestGenerateSParamsExactPath(t *testing.T) {
+	art, err := GenerateSParams(context.Background(), tinySParamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Source != "exact" {
+		t.Fatalf("source %q", art.Source)
+	}
+	if !art.Gates.PassivityOK || !art.Gates.CausalityOK {
+		t.Fatalf("gates failed: %s", art.Gates)
+	}
+	if art.Key != tinySParamConfig().Key().String() {
+		t.Fatal("artifact key does not match config address")
+	}
+	if !strings.Contains(art.Touchstone, "# HZ S RI R 50") {
+		t.Fatal("missing touchstone option line")
+	}
+	// Config is echoed so the artifact is self-describing.
+	var cfg SParamConfig
+	if err := json.Unmarshal(art.Config, &cfg); err != nil || cfg.Points != 5 {
+		t.Fatalf("config echo wrong: %s (%v)", art.Config, err)
+	}
+}
+
+func TestSurrogateResolverMatchesExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("surrogate fit in -short mode")
+	}
+	cfg := tinySParamConfig()
+	sur, err := FitSurrogate(context.Background(), SurrogateConfig{
+		Spec:   cfg.Spec,
+		Acc:    cfg.Acc,
+		FMinHz: 0.5e9,
+		FMaxHz: 12e9,
+		Tol:    0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := GenerateSParamsWith(context.Background(), cfg, sur.Resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Source != "surrogate" || fast.KMaxRelErr != sur.MaxRelErr() {
+		t.Fatalf("provenance wrong: source=%q err=%g", fast.Source, fast.KMaxRelErr)
+	}
+	exact, err := GenerateSParams(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same geometry and band: the artifacts differ only through the K
+	// tolerance of the admitted surrogate.
+	if fast.Points != exact.Points || fast.FMinHz != exact.FMinHz || fast.FMaxHz != exact.FMaxHz {
+		t.Fatal("band mismatch between surrogate and exact artifacts")
+	}
+	fastRows := strings.Split(strings.TrimSpace(fast.Touchstone), "\n")
+	exactRows := strings.Split(strings.TrimSpace(exact.Touchstone), "\n")
+	if len(fastRows) != len(exactRows) {
+		t.Fatal("row count mismatch")
+	}
+	for i := range fastRows {
+		ff := strings.Fields(fastRows[i])
+		ef := strings.Fields(exactRows[i])
+		if strings.HasPrefix(fastRows[i], "!") || strings.HasPrefix(fastRows[i], "#") {
+			continue
+		}
+		for j := range ff {
+			a := mustParseFloat(t, ff[j])
+			b := mustParseFloat(t, ef[j])
+			if math.Abs(a-b) > 50*sur.MaxRelErr()*math.Max(1, math.Abs(b))+1e-9 {
+				t.Fatalf("row %d col %d: surrogate %g vs exact %g (tol %g)", i, j, a, b, sur.MaxRelErr())
+			}
+		}
+	}
+}
+
+func mustParseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
